@@ -1,0 +1,127 @@
+// Ablation: solver path selection (DESIGN.md section 5). Compares the exact
+// MILP, min-cost flow (on unit-slot restrictions), and regret-greedy +
+// local-search on the same placement instances: solution quality (objective
+// vs exact) and runtime. Justifies solve_auto's size thresholds.
+#include <chrono>
+
+#include "bench_util.hpp"
+
+#include "solver/assignment.hpp"
+#include "solver/lagrangian.hpp"
+#include "util/random.hpp"
+
+using namespace carbonedge;
+using namespace carbonedge::solver;
+
+namespace {
+
+AssignmentProblem random_instance(std::size_t apps, std::size_t servers, std::uint64_t seed,
+                                  bool unit_slot) {
+  util::Rng rng(seed);
+  AssignmentProblem p(apps, servers, unit_slot ? 1 : 2);
+  for (std::size_t j = 0; j < servers; ++j) {
+    if (unit_slot) {
+      p.set_capacity(j, 0, 1.0 + static_cast<double>(rng.uniform_index(3)));
+    } else {
+      p.set_capacity(j, 0, rng.uniform(2.0, 6.0));
+      p.set_capacity(j, 1, rng.uniform(2.0, 6.0));
+    }
+  }
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (rng.bernoulli(0.1)) continue;
+      p.set_cost(i, j, rng.uniform(0.5, 10.0));
+      if (unit_slot) {
+        p.set_demand(i, j, 0, 1.0);
+      } else {
+        p.set_demand(i, j, 0, rng.uniform(0.2, 1.2));
+        p.set_demand(i, j, 1, rng.uniform(0.2, 1.2));
+      }
+    }
+  }
+  return p;
+}
+
+template <typename F>
+std::pair<double, double> timed(F&& solve) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const AssignmentSolution solution = solve();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {solution.feasible ? solution.total_cost : -1.0,
+          std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "Solver paths: exact MILP vs flow vs greedy+LS");
+
+  util::Table table({"Instance", "dual LB", "exact cost", "exact ms", "flow cost", "flow ms",
+                     "greedy+LS cost", "greedy+LS ms", "gap"});
+  table.set_title("Solver comparison (mean over 5 seeds; dual LB = Lagrangian bound)");
+
+  struct Shape {
+    std::size_t apps;
+    std::size_t servers;
+    bool unit_slot;
+    const char* label;
+  };
+  const std::vector<Shape> shapes = {
+      {8, 5, true, "8x5 unit-slot"},    {20, 10, true, "20x10 unit-slot"},
+      {8, 5, false, "8x5 2-resource"},  {16, 8, false, "16x8 2-resource"},
+      {30, 12, false, "30x12 2-resource"},
+  };
+  for (const Shape& shape : shapes) {
+    double dual_bound = 0.0;
+    double exact_cost = 0.0;
+    double exact_ms = 0.0;
+    double flow_cost = 0.0;
+    double flow_ms = 0.0;
+    double greedy_cost = 0.0;
+    double greedy_ms = 0.0;
+    int counted = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      AssignmentProblem p =
+          random_instance(shape.apps, shape.servers, seed * 7919, shape.unit_slot);
+      const auto [ec, et] = timed([&] { return solve_exact(p); });
+      if (ec < 0.0) continue;  // skip infeasible draws
+      const auto [gc, gt] = timed([&] {
+        AssignmentSolution s = solve_greedy(p);
+        improve_local_search(p, s);
+        return s;
+      });
+      double fc = 0.0;
+      double ft = 0.0;
+      if (shape.unit_slot) {
+        const auto [c, t] = timed([&] { return solve_flow(p); });
+        fc = c;
+        ft = t;
+      }
+      LagrangianOptions lag;
+      lag.upper_bound = gc;
+      dual_bound += lagrangian_lower_bound(p, lag).lower_bound;
+      exact_cost += ec;
+      exact_ms += et;
+      flow_cost += fc;
+      flow_ms += ft;
+      greedy_cost += gc;
+      greedy_ms += gt;
+      ++counted;
+    }
+    if (counted == 0) continue;
+    const double inv = 1.0 / counted;
+    const double gap = exact_cost > 0.0 ? (greedy_cost - exact_cost) / exact_cost : 0.0;
+    table.add_row({shape.label, util::format_fixed(dual_bound * inv, 2),
+                   util::format_fixed(exact_cost * inv, 2),
+                   util::format_fixed(exact_ms * inv, 2),
+                   shape.unit_slot ? util::format_fixed(flow_cost * inv, 2) : "-",
+                   shape.unit_slot ? util::format_fixed(flow_ms * inv, 3) : "-",
+                   util::format_fixed(greedy_cost * inv, 2),
+                   util::format_fixed(greedy_ms * inv, 3), util::format_percent(gap, 1)});
+  }
+  table.print(std::cout);
+  bench::print_takeaway(
+      "Flow matches the exact optimum on unit-slot instances at a fraction of the cost; "
+      "greedy+LS stays within a few percent of optimal - justifying solve_auto's routing.");
+  return 0;
+}

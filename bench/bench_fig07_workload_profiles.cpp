@@ -1,0 +1,53 @@
+// Figure 7: energy consumption, GPU memory, and inference time of the three
+// ML workloads (EfficientNetB0, ResNet50, YOLOv4) across the three devices
+// (Orin Nano, A2, GTX 1080). Paper: energy spans ~45x across models on one
+// device and ~2x across devices for one model.
+#include "bench_util.hpp"
+
+#include "sim/app_model.hpp"
+
+using namespace carbonedge;
+
+int main() {
+  bench::print_header("Figure 7", "Energy, memory, and inference time of ML workloads");
+
+  const std::vector<sim::DeviceType> devices = {
+      sim::DeviceType::kOrinNano, sim::DeviceType::kA2, sim::DeviceType::kGtx1080};
+
+  util::Table energy({"Model", "Orin Nano (J)", "A2 (J)", "GTX 1080 (J)"});
+  energy.set_title("Figure 7a: energy per inference");
+  util::Table memory({"Model", "Orin Nano (MB)", "A2 (MB)", "GTX 1080 (MB)"});
+  memory.set_title("Figure 7b: GPU memory");
+  util::Table latency({"Model", "Orin Nano (ms)", "A2 (ms)", "GTX 1080 (ms)"});
+  latency.set_title("Figure 7c: inference time");
+
+  for (const sim::ModelType model : sim::kGpuModels) {
+    std::vector<double> e;
+    std::vector<double> m;
+    std::vector<double> t;
+    for (const sim::DeviceType device : devices) {
+      const sim::WorkloadProfile profile = sim::require_profile(model, device);
+      e.push_back(profile.energy_j);
+      m.push_back(profile.memory_mb);
+      t.push_back(profile.inference_ms);
+    }
+    energy.add_row(std::string(sim::to_string(model)), e, 3);
+    memory.add_row(std::string(sim::to_string(model)), m, 0);
+    latency.add_row(std::string(sim::to_string(model)), t, 1);
+  }
+  energy.print(std::cout);
+  memory.print(std::cout);
+  latency.print(std::cout);
+
+  const double span_models =
+      sim::require_profile(sim::ModelType::kYoloV4, sim::DeviceType::kA2).energy_j /
+      sim::require_profile(sim::ModelType::kEfficientNetB0, sim::DeviceType::kA2).energy_j;
+  const double span_devices =
+      sim::require_profile(sim::ModelType::kResNet50, sim::DeviceType::kGtx1080).energy_j /
+      sim::require_profile(sim::ModelType::kResNet50, sim::DeviceType::kOrinNano).energy_j;
+  bench::print_takeaway("Energy spans " + util::format_fixed(span_models, 0) +
+                        "x across models (paper ~45x) and " +
+                        util::format_fixed(span_devices, 1) +
+                        "x across devices (paper ~2x).");
+  return 0;
+}

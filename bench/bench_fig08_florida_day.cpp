@@ -1,0 +1,63 @@
+// Figure 8: a 24-hour Florida regional deployment of the CPU-based (Sci)
+// application — per-zone carbon intensity (a), per-zone emissions under
+// Latency-aware (b), and under CarbonEdge (c). Expected shape: Latency-aware
+// emissions mirror each zone's own intensity; CarbonEdge routes everything
+// through the greenest zone (Miami) and flattens emissions.
+#include "bench_util.hpp"
+
+using namespace carbonedge;
+
+int main() {
+  bench::print_header("Figure 8", "Carbon intensity and emissions across Florida (24h)");
+
+  const geo::Region region = geo::florida_region();
+  const auto service = bench::make_service(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kXeonCpu), service);
+  const core::SimulationConfig base = bench::testbed_config(sim::ModelType::kSciCpu);
+
+  const auto cities = simulation.pristine_cluster().cities();
+  std::vector<std::string> header = {"Hour"};
+  for (const geo::City& c : cities) header.push_back(c.name);
+
+  // (a) Carbon intensity.
+  util::Table intensity(header);
+  intensity.set_title("Figure 8a: carbon intensity (g CO2eq/kWh)");
+  for (std::uint32_t h = 0; h < 24; h += 2) {
+    std::vector<double> row;
+    for (const geo::City& c : cities) row.push_back(service.intensity(c.name, h));
+    intensity.add_row(std::to_string(h) + ":00", row, 0);
+  }
+  intensity.print(std::cout);
+
+  // (b)/(c) Per-origin-app emissions per epoch under both policies. Each
+  // zone's end device contributes one app; we report where its emissions go.
+  for (const core::PolicyConfig policy :
+       {core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()}) {
+    core::SimulationConfig config = base;
+    config.policy = policy;
+    const core::SimulationResult result = simulation.run(config);
+    util::Table emissions(header);
+    emissions.set_title(std::string("Figure 8") +
+                        (policy.kind == core::PolicyKind::kLatencyAware ? "b" : "c") + ": " +
+                        core::describe(policy) + " emissions per site (g CO2eq / epoch)");
+    for (std::size_t e = 0; e < result.telemetry.size(); e += 2) {
+      const auto& record = result.telemetry.epochs()[e];
+      std::vector<double> row;
+      for (const auto& site : record.sites) row.push_back(site.carbon_g);
+      emissions.add_row(std::to_string(e) + ":00", row, 2);
+    }
+    emissions.print(std::cout);
+
+    const auto apps = result.telemetry.apps_by_site(0, result.telemetry.size());
+    std::string placements;
+    for (std::size_t s = 0; s < apps.size(); ++s) {
+      placements += cities[s].name + "=" + util::format_fixed(apps[s], 1) + " ";
+    }
+    bench::print_takeaway(core::describe(policy) + " mean apps per site: " + placements);
+  }
+  bench::print_takeaway(
+      "CarbonEdge consolidates all five applications in the greenest zone (paper: Miami), "
+      "flattening emissions to the Miami intensity curve.");
+  return 0;
+}

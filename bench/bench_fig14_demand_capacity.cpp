@@ -1,0 +1,47 @@
+// Figure 14: effect of demand and capacity skew. Three scenarios per
+// continent: Homo (uniform demand, uniform capacity), Demand (population-
+// proportional demand, uniform capacity), Capacity (uniform demand,
+// population-proportional capacity). Paper: skew can reduce US savings by
+// ~6% (dirty-origin load with no green neighbors); Europe changes <1.6%.
+#include "bench_util.hpp"
+
+using namespace carbonedge;
+
+int main() {
+  bench::print_header("Figure 14", "Effect of demand and capacity distributions");
+
+  util::Table table({"Continent", "Scenario", "Saving", "dRTT (ms)"});
+  table.set_title("Figure 14: carbon savings under demand/capacity skew (one quarter)");
+
+  for (const geo::Continent continent :
+       {geo::Continent::kNorthAmerica, geo::Continent::kEurope}) {
+    const geo::Region region = geo::cdn_region(continent, 30);
+    const auto service = bench::make_service(region);
+    const std::size_t total_servers = region.cities.size() * 2;
+
+    for (const std::string scenario : {"Homo", "Demand", "Capacity"}) {
+      sim::EdgeCluster cluster =
+          scenario == "Capacity"
+              ? sim::make_population_cluster(region, total_servers, sim::DeviceType::kA2)
+              : sim::make_uniform_cluster(region, 2, sim::DeviceType::kA2);
+      core::EdgeSimulation simulation(std::move(cluster), service);
+      core::SimulationConfig config = bench::cdn_config();
+      config.epochs = carbon::kHoursPerYear / 3 / 4;  // one quarter
+      config.workload.arrivals_per_site = 0.5;
+      if (scenario == "Demand") {
+        config.workload.demand = sim::DemandDistribution::kPopulation;
+      }
+      const auto results = core::run_policies(
+          simulation, config,
+          {core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});
+      table.add_row({continent == geo::Continent::kNorthAmerica ? "US" : "Europe", scenario,
+                     util::format_percent(core::carbon_saving(results[0], results[1])),
+                     util::format_fixed(core::latency_increase_ms(results[0], results[1]), 1)});
+    }
+  }
+  table.print(std::cout);
+  bench::print_takeaway(
+      "Demand/capacity skew moves savings by only a few percentage points; the effect is "
+      "larger in the US where high-carbon metros lack green neighbors (paper Fig 14).");
+  return 0;
+}

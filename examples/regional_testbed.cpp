@@ -1,0 +1,72 @@
+// Regional testbed scenario (paper Section 6.2): emulate the 11-server
+// mesoscale deployment — five edge data centers, one long-lived application
+// offloaded from each city's end devices — for a 24-hour day, and compare
+// all four policies on carbon, latency, and energy.
+//
+//   $ ./regional_testbed            # Florida (default)
+//   $ ./regional_testbed central_eu # Central Europe
+//   $ ./regional_testbed west_us
+//   $ ./regional_testbed italy
+#include <iostream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace carbonedge;
+
+namespace {
+
+geo::Region pick_region(const std::string& name) {
+  if (name == "central_eu") return geo::central_eu_region();
+  if (name == "west_us") return geo::west_us_region();
+  if (name == "italy") return geo::italy_region();
+  return geo::florida_region();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const geo::Region region = pick_region(argc > 1 ? argv[1] : "florida");
+  std::cout << "Regional testbed: " << region.name << " (24h, CPU Sci application)\n";
+
+  carbon::CarbonIntensityService carbon_service;
+  carbon_service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kXeonCpu), carbon_service);
+
+  core::SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 0.0, 0.0, 1.0};
+  config.workload.latency_limit_rtt_ms = 25.0;
+
+  const std::vector<core::PolicyConfig> policies = {
+      core::PolicyConfig::latency_aware(), core::PolicyConfig::energy_aware(),
+      core::PolicyConfig::intensity_aware(), core::PolicyConfig::carbon_edge()};
+  const auto results = core::run_policies(simulation, config, policies);
+
+  util::Table table({"Policy", "Carbon (g)", "Energy (Wh)", "Mean RTT (ms)",
+                     "Mean response (ms)", "Saving vs Latency-aware"});
+  table.set_title(region.name + " 24h totals");
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    table.add_row({core::describe(policies[p]),
+                   util::format_fixed(results[p].telemetry.total_carbon_g(), 1),
+                   util::format_fixed(results[p].telemetry.total_energy_wh(), 1),
+                   util::format_fixed(results[p].telemetry.mean_rtt_ms(), 2),
+                   util::format_fixed(results[p].telemetry.mean_response_ms(), 1),
+                   util::format_percent(core::carbon_saving(results[0], results[p]))});
+  }
+  table.print(std::cout);
+
+  // Where did CarbonEdge put the load?
+  const auto apps = results[3].telemetry.apps_by_site(0, 24);
+  const auto cities = simulation.pristine_cluster().cities();
+  std::cout << "CarbonEdge hosting (mean apps/site): ";
+  for (std::size_t s = 0; s < cities.size(); ++s) {
+    std::cout << cities[s].name << "=" << util::format_fixed(apps[s], 1) << "  ";
+  }
+  std::cout << "\n";
+  return 0;
+}

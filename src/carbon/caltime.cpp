@@ -1,0 +1,43 @@
+#include "carbon/caltime.hpp"
+
+namespace carbonedge::carbon {
+namespace {
+
+constexpr std::array<std::uint32_t, kMonthsPerYear> kDaysInMonth = {
+    31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+constexpr std::array<std::string_view, kMonthsPerYear> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::uint32_t month_of_day(std::uint32_t day) noexcept {
+  day %= kDaysPerYear;
+  std::uint32_t month = 0;
+  while (month < kMonthsPerYear - 1 && day >= kDaysInMonth[month]) {
+    day -= kDaysInMonth[month];
+    ++month;
+  }
+  return month;
+}
+
+std::uint32_t month_of_hour(HourIndex h) noexcept { return month_of_day(day_of_year(h)); }
+
+std::uint32_t days_in_month(std::uint32_t month) noexcept {
+  return kDaysInMonth[month % kMonthsPerYear];
+}
+
+HourIndex month_start_hour(std::uint32_t month) noexcept {
+  HourIndex hour = 0;
+  for (std::uint32_t m = 0; m < month % kMonthsPerYear; ++m) {
+    hour += kDaysInMonth[m] * kHoursPerDay;
+  }
+  return hour;
+}
+
+std::string_view month_name(std::uint32_t month) noexcept {
+  return kMonthNames[month % kMonthsPerYear];
+}
+
+}  // namespace carbonedge::carbon

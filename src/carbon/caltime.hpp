@@ -1,0 +1,44 @@
+// Calendar arithmetic over the simulated trace year.
+//
+// Traces are hourly series over a non-leap year (the paper uses calendar
+// year 2023). Hour 0 is January 1st, 00:00 local time; the model treats
+// each zone in its own local time, which is what matters for diurnal solar
+// and demand shapes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace carbonedge::carbon {
+
+inline constexpr std::uint32_t kHoursPerDay = 24;
+inline constexpr std::uint32_t kDaysPerYear = 365;
+inline constexpr std::uint32_t kHoursPerYear = kHoursPerDay * kDaysPerYear;
+inline constexpr std::uint32_t kMonthsPerYear = 12;
+
+using HourIndex = std::uint32_t;  // hour offset within the trace year
+
+[[nodiscard]] constexpr std::uint32_t hour_of_day(HourIndex h) noexcept {
+  return h % kHoursPerDay;
+}
+[[nodiscard]] constexpr std::uint32_t day_of_year(HourIndex h) noexcept {
+  return (h / kHoursPerDay) % kDaysPerYear;
+}
+
+/// Month (0-11) containing a day of year.
+[[nodiscard]] std::uint32_t month_of_day(std::uint32_t day_of_year) noexcept;
+
+/// Month (0-11) containing an hour index.
+[[nodiscard]] std::uint32_t month_of_hour(HourIndex h) noexcept;
+
+/// Days in month m (non-leap year).
+[[nodiscard]] std::uint32_t days_in_month(std::uint32_t month) noexcept;
+
+/// First hour index of month m.
+[[nodiscard]] HourIndex month_start_hour(std::uint32_t month) noexcept;
+
+/// Abbreviated month name ("Jan" ... "Dec").
+[[nodiscard]] std::string_view month_name(std::uint32_t month) noexcept;
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,35 @@
+#include "carbon/mix.hpp"
+
+namespace carbonedge::carbon {
+
+void GenerationMix::normalize() noexcept {
+  const double sum = total();
+  if (sum <= 0.0) return;
+  for (double& v : shares_) v /= sum;
+}
+
+double GenerationMix::carbon_intensity() const noexcept {
+  const double sum = total();
+  if (sum <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (const EnergySource s : kAllSources) {
+    weighted += at(s) * carbon_intensity_g_per_kwh(s);
+  }
+  return weighted / sum;
+}
+
+double GenerationMix::low_carbon_share() const noexcept {
+  const double sum = total();
+  if (sum <= 0.0) return 0.0;
+  const double low = at(EnergySource::kHydro) + at(EnergySource::kSolar) +
+                     at(EnergySource::kWind) + at(EnergySource::kNuclear);
+  return low / sum;
+}
+
+GenerationMix make_mix(std::initializer_list<std::pair<EnergySource, double>> shares) {
+  GenerationMix mix;
+  for (const auto& [source, share] : shares) mix.add(source, share);
+  return mix;
+}
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,58 @@
+// Generation mixes: per-source shares of a zone's installed capacity or of
+// its realized hourly generation.
+#pragma once
+
+#include <array>
+
+#include "carbon/source.hpp"
+
+namespace carbonedge::carbon {
+
+/// Non-negative per-source weights. When normalized they sum to 1 and can be
+/// read either as capacity shares (zone specification) or generation shares
+/// (dispatch output, Figure 1a).
+class GenerationMix {
+ public:
+  constexpr GenerationMix() = default;
+
+  [[nodiscard]] constexpr double at(EnergySource s) const noexcept {
+    return shares_[index_of(s)];
+  }
+  constexpr void set(EnergySource s, double value) noexcept {
+    shares_[index_of(s)] = value < 0.0 ? 0.0 : value;
+  }
+  constexpr void add(EnergySource s, double value) noexcept {
+    set(s, at(s) + value);
+  }
+
+  [[nodiscard]] constexpr double total() const noexcept {
+    double sum = 0.0;
+    for (const double v : shares_) sum += v;
+    return sum;
+  }
+
+  /// Scale so shares sum to 1 (no-op on an all-zero mix).
+  void normalize() noexcept;
+
+  /// Generation-weighted average carbon intensity, g CO2-eq / kWh.
+  /// Zero for an all-zero mix.
+  [[nodiscard]] double carbon_intensity() const noexcept;
+
+  /// Fraction of the mix from low-carbon sources (hydro/solar/wind/nuclear).
+  [[nodiscard]] double low_carbon_share() const noexcept;
+
+  [[nodiscard]] constexpr const std::array<double, kSourceCount>& shares() const noexcept {
+    return shares_;
+  }
+
+  friend constexpr bool operator==(const GenerationMix&, const GenerationMix&) = default;
+
+ private:
+  std::array<double, kSourceCount> shares_{};
+};
+
+/// Build a mix from (source, share) pairs; unmentioned sources get zero.
+[[nodiscard]] GenerationMix make_mix(
+    std::initializer_list<std::pair<EnergySource, double>> shares);
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,62 @@
+#include "carbon/service.hpp"
+
+#include <stdexcept>
+
+namespace carbonedge::carbon {
+
+CarbonIntensityService::CarbonIntensityService()
+    : forecaster_(std::make_unique<OracleForecaster>()) {}
+
+CarbonIntensityService::CarbonIntensityService(std::unique_ptr<Forecaster> forecaster)
+    : forecaster_(std::move(forecaster)) {
+  if (!forecaster_) throw std::invalid_argument("forecaster must be non-null");
+}
+
+void CarbonIntensityService::add_trace(CarbonTrace trace) {
+  const std::string name = trace.zone();
+  traces_.insert_or_assign(name, std::move(trace));
+}
+
+std::vector<std::string> CarbonIntensityService::add_region(const geo::Region& region,
+                                                            const SynthesizerParams& params) {
+  const TraceSynthesizer synthesizer(params);
+  const auto& catalog = ZoneCatalog::builtin();
+  std::vector<std::string> names;
+  names.reserve(region.cities.size());
+  for (const geo::City& city : region.resolve()) {
+    add_trace(synthesizer.synthesize(catalog.spec_for(city)));
+    names.push_back(city.name);
+  }
+  return names;
+}
+
+bool CarbonIntensityService::has_zone(const std::string& zone) const noexcept {
+  return traces_.contains(zone);
+}
+
+const CarbonTrace& CarbonIntensityService::trace(const std::string& zone) const {
+  const auto it = traces_.find(zone);
+  if (it == traces_.end()) throw std::out_of_range("unknown carbon zone: " + zone);
+  return it->second;
+}
+
+double CarbonIntensityService::intensity(const std::string& zone, HourIndex hour) const {
+  return trace(zone).at(hour);
+}
+
+double CarbonIntensityService::mean_forecast(const std::string& zone, HourIndex now,
+                                             std::uint32_t horizon) const {
+  return forecaster_->mean_forecast(trace(zone), now, horizon);
+}
+
+std::vector<double> CarbonIntensityService::forecast(const std::string& zone, HourIndex now,
+                                                     std::uint32_t horizon) const {
+  return forecaster_->forecast(trace(zone), now, horizon);
+}
+
+void CarbonIntensityService::set_forecaster(std::unique_ptr<Forecaster> forecaster) {
+  if (!forecaster) throw std::invalid_argument("forecaster must be non-null");
+  forecaster_ = std::move(forecaster);
+}
+
+}  // namespace carbonedge::carbon

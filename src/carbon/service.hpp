@@ -1,0 +1,56 @@
+// Carbon-intensity service (Section 5.1, component 2 of the prototype):
+// holds per-zone traces, answers real-time intensity queries, and provides
+// the mean forecast Ī_j used by the placement optimizer (step 0 in Fig. 6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "carbon/forecast.hpp"
+#include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+#include "geo/region.hpp"
+
+namespace carbonedge::carbon {
+
+class CarbonIntensityService {
+ public:
+  /// Service with an oracle forecaster (matches the paper's trace replay).
+  CarbonIntensityService();
+  explicit CarbonIntensityService(std::unique_ptr<Forecaster> forecaster);
+
+  /// Register a trace for a zone; replaces any existing trace of that name.
+  void add_trace(CarbonTrace trace);
+
+  /// Synthesize and register traces for every city of a region. Returns the
+  /// zone names in region order.
+  std::vector<std::string> add_region(const geo::Region& region,
+                                      const SynthesizerParams& params = {});
+
+  [[nodiscard]] bool has_zone(const std::string& zone) const noexcept;
+  [[nodiscard]] std::size_t zone_count() const noexcept { return traces_.size(); }
+
+  /// Real-time intensity of a zone at an hour.
+  [[nodiscard]] double intensity(const std::string& zone, HourIndex hour) const;
+
+  /// Mean forecast intensity over [now, now + horizon) — Ī_j in Table 2.
+  [[nodiscard]] double mean_forecast(const std::string& zone, HourIndex now,
+                                     std::uint32_t horizon) const;
+
+  /// Full forecast series (for telemetry dashboards / tests).
+  [[nodiscard]] std::vector<double> forecast(const std::string& zone, HourIndex now,
+                                             std::uint32_t horizon) const;
+
+  [[nodiscard]] const CarbonTrace& trace(const std::string& zone) const;
+  [[nodiscard]] const Forecaster& forecaster() const noexcept { return *forecaster_; }
+  void set_forecaster(std::unique_ptr<Forecaster> forecaster);
+
+ private:
+  std::unordered_map<std::string, CarbonTrace> traces_;
+  std::unique_ptr<Forecaster> forecaster_;
+};
+
+}  // namespace carbonedge::carbon

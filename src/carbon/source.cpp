@@ -1,0 +1,20 @@
+#include "carbon/source.hpp"
+
+namespace carbonedge::carbon {
+
+std::string_view to_string(EnergySource s) noexcept {
+  switch (s) {
+    case EnergySource::kHydro: return "hydro";
+    case EnergySource::kSolar: return "solar";
+    case EnergySource::kWind: return "wind";
+    case EnergySource::kNuclear: return "nuclear";
+    case EnergySource::kBiomass: return "biomass";
+    case EnergySource::kGas: return "gas";
+    case EnergySource::kOil: return "oil";
+    case EnergySource::kCoal: return "coal";
+    case EnergySource::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,75 @@
+// Energy generation sources and their life-cycle carbon intensities.
+//
+// The carbon intensity of a zone's electricity is the generation-weighted
+// average of per-source intensities (Section 2.1 of the paper). We use the
+// IPCC AR5 median life-cycle values (g CO2-eq per kWh), the same basis
+// Electricity Maps uses for its published zone intensities.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace carbonedge::carbon {
+
+enum class EnergySource : std::uint8_t {
+  kHydro = 0,
+  kSolar,
+  kWind,
+  kNuclear,
+  kBiomass,
+  kGas,
+  kOil,
+  kCoal,
+  kCount_,
+};
+
+inline constexpr std::size_t kSourceCount = static_cast<std::size_t>(EnergySource::kCount_);
+
+/// All sources, in enum order (iteration helper).
+inline constexpr std::array<EnergySource, kSourceCount> kAllSources = {
+    EnergySource::kHydro, EnergySource::kSolar,   EnergySource::kWind,
+    EnergySource::kNuclear, EnergySource::kBiomass, EnergySource::kGas,
+    EnergySource::kOil,   EnergySource::kCoal,
+};
+
+[[nodiscard]] constexpr std::size_t index_of(EnergySource s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+
+/// Life-cycle carbon intensity, g CO2-eq / kWh (IPCC AR5 medians).
+[[nodiscard]] constexpr double carbon_intensity_g_per_kwh(EnergySource s) noexcept {
+  constexpr std::array<double, kSourceCount> kIntensity = {
+      24.0,   // hydro
+      45.0,   // solar PV (utility)
+      11.0,   // wind (onshore)
+      12.0,   // nuclear
+      230.0,  // biomass
+      490.0,  // gas (combined cycle)
+      650.0,  // oil
+      820.0,  // coal
+  };
+  return kIntensity[index_of(s)];
+}
+
+/// True for sources that are dispatched on demand (fossil thermal); false
+/// for must-run / variable sources (renewables, nuclear baseload).
+[[nodiscard]] constexpr bool is_dispatchable(EnergySource s) noexcept {
+  switch (s) {
+    case EnergySource::kGas:
+    case EnergySource::kOil:
+    case EnergySource::kCoal:
+    case EnergySource::kBiomass:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] std::string_view to_string(EnergySource s) noexcept;
+
+/// Carbon intensity assigned to unserved residual demand (grid imports from
+/// an unmodeled neighbor); a mid-fossil value.
+inline constexpr double kImportIntensity = 500.0;
+
+}  // namespace carbonedge::carbon

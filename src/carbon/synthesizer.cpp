@@ -1,0 +1,174 @@
+#include "carbon/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/random.hpp"
+
+namespace carbonedge::carbon {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double clamp01(double x) noexcept { return std::clamp(x, 0.0, 1.0); }
+
+/// Solar declination (degrees) for a day of year — standard approximation.
+double declination_deg(std::uint32_t day_of_year) noexcept {
+  return 23.44 * std::sin(2.0 * kPi * (284.0 + static_cast<double>(day_of_year) + 1.0) / 365.0);
+}
+
+/// Day length in hours at a latitude for a day of year.
+double day_length_hours(double latitude_deg, std::uint32_t day) noexcept {
+  const double lat = latitude_deg * kPi / 180.0;
+  const double dec = declination_deg(day) * kPi / 180.0;
+  const double cos_ha = -std::tan(lat) * std::tan(dec);
+  if (cos_ha <= -1.0) return 24.0;  // midnight sun
+  if (cos_ha >= 1.0) return 0.0;    // polar night
+  return 2.0 * std::acos(cos_ha) * 12.0 / kPi;
+}
+
+/// Seasonal wind factor: windier winters in both hemispheres we model.
+double wind_season(std::uint32_t day) noexcept {
+  return 1.0 + 0.18 * std::cos(2.0 * kPi * (static_cast<double>(day) - 15.0) / 365.0);
+}
+
+/// Seasonal hydro factor: spring-melt bump.
+double hydro_season(std::uint32_t day) noexcept {
+  return 1.0 + 0.12 * std::sin(2.0 * kPi * (static_cast<double>(day) - 60.0) / 365.0);
+}
+
+}  // namespace
+
+double TraceSynthesizer::clear_sky(double latitude_deg, std::uint32_t hour,
+                                   std::uint32_t day) noexcept {
+  const double len = day_length_hours(latitude_deg, day);
+  if (len <= 0.0) return 0.0;
+  const double sunrise = 12.0 - len / 2.0;
+  const double sunset = 12.0 + len / 2.0;
+  const double h = static_cast<double>(hour) + 0.5;  // mid-hour
+  if (h <= sunrise || h >= sunset) return 0.0;
+  // Half-sine across the daylight window; peak amplitude scales with the
+  // noon solar elevation (shorter winter days also have a lower sun). The
+  // super-linear exponent reflects that winter sun is both shorter and
+  // lower, compounding into a strongly seasonal yield.
+  const double amplitude = std::pow(std::clamp(len / 14.0, 0.0, 1.0), 1.8);
+  return amplitude * std::sin(kPi * (h - sunrise) / len);
+}
+
+double TraceSynthesizer::demand_shape(const ZoneSpec& zone, std::uint32_t hour,
+                                      std::uint32_t day) noexcept {
+  // Diurnal: trough ~04:00, morning ramp, evening peak ~19:00.
+  const double h = static_cast<double>(hour);
+  const double diurnal =
+      0.5 - 0.5 * std::cos(2.0 * kPi * (h - 4.0) / 24.0) +
+      0.22 * std::exp(-0.5 * std::pow((h - 19.0) / 2.5, 2.0));
+  const double diurnal_norm = clamp01(diurnal / 1.2);
+
+  // Seasonal: heating (winter peak) at high latitude, cooling (summer peak)
+  // at low latitude; blend across the 33-45 degree band.
+  const double d = static_cast<double>(day);
+  const double winter = std::cos(2.0 * kPi * (d - 15.0) / 365.0);
+  const double summer = std::cos(2.0 * kPi * (d - 197.0) / 365.0);
+  const double abs_lat = std::abs(zone.latitude_deg);
+  const double blend = clamp01((abs_lat - 33.0) / 12.0);  // 0 = hot, 1 = cold climate
+  const double seasonal = 1.0 + 0.10 * (blend * winter + (1.0 - blend) * summer);
+
+  const double base = zone.demand_base;
+  const double peak = zone.demand_peak;
+  return (base + (peak - base) * diurnal_norm) * seasonal;
+}
+
+CarbonTrace TraceSynthesizer::synthesize(const ZoneSpec& zone) const {
+  util::Rng rng(util::mix64(params_.seed ^ util::fnv1a(zone.name)));
+
+  const GenerationMix& cap = zone.capacity;
+  std::vector<double> intensity;
+  std::vector<GenerationMix> mixes;
+  intensity.reserve(params_.hours);
+  mixes.reserve(params_.hours);
+
+  // AR(1) states, started at their stationary means.
+  double cloud = 0.75;  // transmission factor in [0.35, 1]
+  double wind = 0.38;   // capacity factor in [0.05, 0.95]
+
+  for (std::uint32_t t = 0; t < params_.hours; ++t) {
+    const std::uint32_t hour = hour_of_day(t);
+    const std::uint32_t day = day_of_year(t);
+
+    cloud = params_.cloud_persistence * cloud +
+            (1.0 - params_.cloud_persistence) * 0.75 + params_.cloud_noise * rng.normal();
+    cloud = std::clamp(cloud, 0.35, 1.0);
+    const double wind_mean = 0.38 * wind_season(day);
+    wind = params_.wind_persistence * wind +
+           (1.0 - params_.wind_persistence) * wind_mean + params_.wind_noise * rng.normal();
+    wind = std::clamp(wind, 0.05, 0.95);
+
+    double demand = demand_shape(zone, hour, day) * (1.0 + params_.demand_noise * rng.normal());
+    demand = std::max(demand, 0.05);
+
+    // Must-run availability.
+    const double nuclear =
+        cap.at(EnergySource::kNuclear) * params_.nuclear_capacity_factor;
+    const double hydro =
+        cap.at(EnergySource::kHydro) * params_.hydro_capacity_factor * hydro_season(day);
+    const double solar =
+        cap.at(EnergySource::kSolar) * clear_sky(zone.latitude_deg, hour, day) * cloud;
+    const double wind_gen = cap.at(EnergySource::kWind) * wind;
+
+    GenerationMix gen;
+    double remaining = demand;
+    // Must-run in curtailment-priority order: nuclear and hydro are the
+    // least flexible, variable renewables are curtailed last-in.
+    for (const auto& [source, avail] :
+         {std::pair{EnergySource::kNuclear, nuclear}, {EnergySource::kHydro, hydro},
+          {EnergySource::kWind, wind_gen}, {EnergySource::kSolar, solar}}) {
+      const double used = std::min(avail, remaining);
+      gen.set(source, used);
+      remaining -= used;
+      if (remaining <= 0.0) {
+        remaining = 0.0;
+      }
+    }
+    // Dispatchable thermal, merit order coal -> gas -> biomass -> oil.
+    for (const EnergySource source :
+         {EnergySource::kCoal, EnergySource::kGas, EnergySource::kBiomass,
+          EnergySource::kOil}) {
+      if (remaining <= 0.0) break;
+      const double used = std::min(cap.at(source), remaining);
+      gen.set(source, used);
+      remaining -= used;
+    }
+
+    double served = gen.total();
+    double weighted = 0.0;
+    for (const EnergySource s : kAllSources) {
+      weighted += gen.at(s) * carbon_intensity_g_per_kwh(s);
+    }
+    if (remaining > 1e-12) {  // shortfall met by imports
+      weighted += remaining * kImportIntensity;
+      served += remaining;
+    }
+    double ci = served > 0.0 ? weighted / served : 0.0;
+    // Interconnection blending: a slice of consumption is imported.
+    const double f = std::clamp(params_.grid_import_fraction, 0.0, 1.0);
+    ci = (1.0 - f) * ci + f * kImportIntensity;
+    intensity.push_back(ci);
+    gen.normalize();
+    mixes.push_back(gen);
+  }
+
+  CarbonTrace trace(zone.name, std::move(intensity));
+  trace.set_mixes(std::move(mixes));
+  return trace;
+}
+
+std::vector<CarbonTrace> TraceSynthesizer::synthesize(
+    const std::vector<ZoneSpec>& zones) const {
+  std::vector<CarbonTrace> traces;
+  traces.reserve(zones.size());
+  for (const ZoneSpec& zone : zones) traces.push_back(synthesize(zone));
+  return traces;
+}
+
+}  // namespace carbonedge::carbon

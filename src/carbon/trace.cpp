@@ -1,0 +1,61 @@
+#include "carbon/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carbonedge::carbon {
+
+CarbonTrace::CarbonTrace(std::string zone_name, std::vector<double> intensity)
+    : zone_(std::move(zone_name)), intensity_(std::move(intensity)) {
+  if (intensity_.empty()) throw std::invalid_argument("carbon trace must be non-empty");
+  for (const double v : intensity_) {
+    if (v < 0.0) throw std::invalid_argument("carbon intensity must be non-negative");
+  }
+}
+
+double CarbonTrace::at(HourIndex hour) const noexcept {
+  return intensity_[hour % intensity_.size()];
+}
+
+double CarbonTrace::mean_over(HourIndex start, std::uint32_t count) const noexcept {
+  if (count == 0 || intensity_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) total += at(start + i);
+  return total / static_cast<double>(count);
+}
+
+double CarbonTrace::monthly_mean(std::uint32_t month) const noexcept {
+  const HourIndex start = month_start_hour(month);
+  return mean_over(start, days_in_month(month) * kHoursPerDay);
+}
+
+double CarbonTrace::yearly_mean() const noexcept {
+  return mean_over(0, static_cast<std::uint32_t>(intensity_.size()));
+}
+
+double CarbonTrace::yearly_min() const noexcept {
+  return intensity_.empty() ? 0.0 : *std::min_element(intensity_.begin(), intensity_.end());
+}
+
+double CarbonTrace::yearly_max() const noexcept {
+  return intensity_.empty() ? 0.0 : *std::max_element(intensity_.begin(), intensity_.end());
+}
+
+void CarbonTrace::set_mixes(std::vector<GenerationMix> mixes) {
+  if (mixes.size() != intensity_.size()) {
+    throw std::invalid_argument("mix series length must match intensity series");
+  }
+  mixes_ = std::move(mixes);
+}
+
+GenerationMix CarbonTrace::average_mix() const noexcept {
+  GenerationMix avg;
+  if (mixes_.empty()) return avg;
+  for (const GenerationMix& m : mixes_) {
+    for (const EnergySource s : kAllSources) avg.add(s, m.at(s));
+  }
+  avg.normalize();
+  return avg;
+}
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,57 @@
+// Hourly carbon-intensity traces (one value per hour of the trace year),
+// plus the realized generation mix behind each hour — the same information
+// Electricity Maps exposes per zone.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "carbon/caltime.hpp"
+#include "carbon/mix.hpp"
+
+namespace carbonedge::carbon {
+
+/// A year of hourly carbon intensity for one zone.
+class CarbonTrace {
+ public:
+  CarbonTrace() = default;
+  CarbonTrace(std::string zone_name, std::vector<double> intensity_g_per_kwh);
+
+  [[nodiscard]] const std::string& zone() const noexcept { return zone_; }
+  [[nodiscard]] std::size_t hours() const noexcept { return intensity_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return intensity_.empty(); }
+
+  /// Intensity at an hour; indices wrap modulo the trace length, so multi-
+  /// year simulations replay the trace cyclically (as the prototype's trace
+  /// replayer does).
+  [[nodiscard]] double at(HourIndex hour) const noexcept;
+
+  [[nodiscard]] std::span<const double> values() const noexcept { return intensity_; }
+
+  /// Mean over [start, start+count) with wrapping.
+  [[nodiscard]] double mean_over(HourIndex start, std::uint32_t count) const noexcept;
+
+  /// Mean for a calendar month (0-11). Requires a full-year trace.
+  [[nodiscard]] double monthly_mean(std::uint32_t month) const noexcept;
+
+  /// Yearly mean / min / max.
+  [[nodiscard]] double yearly_mean() const noexcept;
+  [[nodiscard]] double yearly_min() const noexcept;
+  [[nodiscard]] double yearly_max() const noexcept;
+
+  /// Optional per-hour realized generation mixes (set by the synthesizer);
+  /// empty if the trace was loaded from plain CSV.
+  [[nodiscard]] std::span<const GenerationMix> mixes() const noexcept { return mixes_; }
+  void set_mixes(std::vector<GenerationMix> mixes);
+
+  /// Average realized generation shares over the whole trace (Figure 1a).
+  [[nodiscard]] GenerationMix average_mix() const noexcept;
+
+ private:
+  std::string zone_;
+  std::vector<double> intensity_;
+  std::vector<GenerationMix> mixes_;
+};
+
+}  // namespace carbonedge::carbon

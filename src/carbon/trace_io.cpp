@@ -1,0 +1,116 @@
+#include "carbon/trace_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace carbonedge::carbon {
+namespace {
+
+std::vector<std::string> header_row(bool with_mix) {
+  std::vector<std::string> header = {"zone", "hour", "intensity_g_kwh"};
+  if (with_mix) {
+    for (const EnergySource s : kAllSources) header.emplace_back(to_string(s));
+  }
+  return header;
+}
+
+void write_rows(util::CsvWriter& writer, const CarbonTrace& trace, bool with_mix) {
+  for (std::size_t h = 0; h < trace.hours(); ++h) {
+    std::vector<std::string> row = {trace.zone(), std::to_string(h),
+                                    util::format_double(trace.at(static_cast<HourIndex>(h)), 4)};
+    if (with_mix) {
+      for (const EnergySource s : kAllSources) {
+        row.push_back(util::format_double(trace.mixes()[h].at(s), 6));
+      }
+    }
+    writer.row(row);
+  }
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const CarbonTrace& trace) {
+  util::CsvWriter writer(out);
+  const bool with_mix = !trace.mixes().empty();
+  writer.header(header_row(with_mix));
+  write_rows(writer, trace, with_mix);
+}
+
+void write_traces_csv(std::ostream& out, const std::vector<CarbonTrace>& traces) {
+  util::CsvWriter writer(out);
+  bool with_mix = !traces.empty();
+  for (const CarbonTrace& trace : traces) with_mix = with_mix && !trace.mixes().empty();
+  writer.header(header_row(with_mix));
+  for (const CarbonTrace& trace : traces) write_rows(writer, trace, with_mix);
+}
+
+std::vector<CarbonTrace> read_traces_csv(const std::string& text) {
+  const util::CsvDocument doc = util::parse_csv(text);
+  const std::size_t zone_col = doc.column("zone");
+  const std::size_t hour_col = doc.column("hour");
+  const std::size_t ci_col = doc.column("intensity_g_kwh");
+  if (zone_col == util::CsvDocument::npos || hour_col == util::CsvDocument::npos ||
+      ci_col == util::CsvDocument::npos) {
+    throw std::runtime_error("trace csv: missing zone/hour/intensity_g_kwh columns");
+  }
+  std::array<std::size_t, kSourceCount> mix_cols{};
+  bool with_mix = true;
+  for (const EnergySource s : kAllSources) {
+    mix_cols[index_of(s)] = doc.column(to_string(s));
+    with_mix = with_mix && mix_cols[index_of(s)] != util::CsvDocument::npos;
+  }
+
+  // Preserve first-appearance order of zones.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> intensity;
+  std::map<std::string, std::vector<GenerationMix>> mixes;
+  for (const auto& row : doc.rows) {
+    const std::string& zone = row[zone_col];
+    auto [it, inserted] = intensity.try_emplace(zone);
+    if (inserted) order.push_back(zone);
+    const auto hour = static_cast<std::size_t>(std::stoul(row[hour_col]));
+    if (hour != it->second.size()) {
+      throw std::runtime_error("trace csv: non-contiguous hours for zone " + zone);
+    }
+    const double value = std::stod(row[ci_col]);
+    if (value < 0.0) throw std::runtime_error("trace csv: negative intensity for zone " + zone);
+    it->second.push_back(value);
+    if (with_mix) {
+      GenerationMix mix;
+      for (const EnergySource s : kAllSources) {
+        mix.set(s, std::stod(row[mix_cols[index_of(s)]]));
+      }
+      mixes[zone].push_back(mix);
+    }
+  }
+
+  std::vector<CarbonTrace> traces;
+  traces.reserve(order.size());
+  for (const std::string& zone : order) {
+    CarbonTrace trace(zone, std::move(intensity.at(zone)));
+    if (with_mix) trace.set_mixes(std::move(mixes.at(zone)));
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+void save_traces(const std::filesystem::path& path, const std::vector<CarbonTrace>& traces) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("trace csv: cannot write " + path.string());
+  write_traces_csv(file, traces);
+}
+
+std::vector<CarbonTrace> load_traces(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("trace csv: cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return read_traces_csv(buffer.str());
+}
+
+}  // namespace carbonedge::carbon

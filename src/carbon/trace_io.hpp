@@ -1,0 +1,33 @@
+// Carbon trace import/export in an Electricity-Maps-style CSV schema:
+//
+//   zone,hour,intensity_g_kwh[,hydro,solar,wind,nuclear,biomass,gas,oil,coal]
+//
+// The prototype's carbon-intensity service "replays historical traces from
+// Electricity Maps" (Section 5.1); this module lets users replay their own
+// licensed exports through the same CarbonIntensityService, and lets every
+// bench dump the synthetic traces it ran against for archival.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "carbon/trace.hpp"
+
+namespace carbonedge::carbon {
+
+/// Serialize one trace as CSV rows (with mix columns when present).
+void write_trace_csv(std::ostream& out, const CarbonTrace& trace);
+
+/// Serialize several traces into one document (rows grouped by zone).
+void write_traces_csv(std::ostream& out, const std::vector<CarbonTrace>& traces);
+
+/// Parse traces from CSV text. Hours must be contiguous from 0 per zone.
+/// Throws std::runtime_error on schema violations.
+[[nodiscard]] std::vector<CarbonTrace> read_traces_csv(const std::string& text);
+
+/// File conveniences.
+void save_traces(const std::filesystem::path& path, const std::vector<CarbonTrace>& traces);
+[[nodiscard]] std::vector<CarbonTrace> load_traces(const std::filesystem::path& path);
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,49 @@
+#include "core/orchestrator.hpp"
+
+namespace carbonedge::core {
+
+const char* to_string(DeployPhase phase) noexcept {
+  switch (phase) {
+    case DeployPhase::kPending: return "pending";
+    case DeployPhase::kRecipeGenerated: return "recipe";
+    case DeployPhase::kImagesPulled: return "images";
+    case DeployPhase::kStarted: return "started";
+    case DeployPhase::kRouted: return "routed";
+    case DeployPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Orchestrator::Orchestrator(OrchestratorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<Deployment> Orchestrator::deploy(const PlacementResult& result) {
+  std::vector<Deployment> deployments;
+  deployments.reserve(result.decisions.size());
+  for (const PlacementDecision& decision : result.decisions) {
+    Deployment d;
+    d.app = decision.app;
+    d.site = decision.site;
+    d.server = decision.server;
+    const auto step = [&](double mean_ms, DeployPhase next) {
+      d.latency_ms += mean_ms * rng_.uniform(0.8, 1.2);
+      d.phase = next;
+    };
+    step(config_.recipe_ms, DeployPhase::kRecipeGenerated);
+    step(config_.image_pull_ms, DeployPhase::kImagesPulled);
+    step(config_.start_ms, DeployPhase::kStarted);
+    // Routing also pays one network round trip to the client.
+    d.latency_ms += decision.rtt_ms;
+    step(config_.route_ms, DeployPhase::kRouted);
+    total_latency_ms_ += d.latency_ms;
+    ++total_deployed_;
+    deployments.push_back(d);
+  }
+  return deployments;
+}
+
+double Orchestrator::mean_deploy_ms() const noexcept {
+  return total_deployed_ > 0 ? total_latency_ms_ / static_cast<double>(total_deployed_) : 0.0;
+}
+
+}  // namespace carbonedge::core

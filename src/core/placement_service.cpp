@@ -1,0 +1,71 @@
+#include "core/placement_service.hpp"
+
+#include <stdexcept>
+
+namespace carbonedge::core {
+
+PlacementService::PlacementService(PolicyConfig policy, solver::AssignmentOptions options)
+    : policy_(policy), options_(options) {}
+
+PlacementResult PlacementService::place(const PlacementInput& input,
+                                        std::span<const sim::Application> apps) {
+  PlacementResult result;
+  if (apps.empty()) return result;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  BuiltProblem built = build_problem(input, apps, policy_);
+  const solver::AssignmentSolution solution = solver::solve_auto(built.problem, options_);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.solve_time_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.objective = solution.total_cost;
+  result.used_exact_solver =
+      apps.size() * built.servers.size() <= options_.exact_size_limit && !built.problem.is_unit_slot();
+
+  // Commit: power on activated servers first (Eq. 5), then host.
+  for (std::size_t j = 0; j < built.servers.size(); ++j) {
+    sim::EdgeServer& server = *built.servers[j].server;
+    if (!server.powered_on() && !solution.powered_on.empty() && solution.powered_on[j]) {
+      // Only power on servers that actually received load.
+      bool used = false;
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (solution.assignment[i] == j) {
+          used = true;
+          break;
+        }
+      }
+      if (used) {
+        server.set_powered_on(true);
+        result.activated.push_back(j);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const std::size_t j = solution.assignment[i];
+    if (j == solver::kUnassigned) {
+      result.rejected.push_back(apps[i].id);
+      continue;
+    }
+    const auto& ref = built.servers[j];
+    if (!ref.server->can_host(apps[i].model, apps[i].rps)) {
+      // Defense in depth: heuristic solutions are validated upstream, but a
+      // placement that no longer fits (e.g. float-boundary drift) is
+      // rejected rather than corrupting server state.
+      result.rejected.push_back(apps[i].id);
+      continue;
+    }
+    ref.server->host(sim::AppInstance{apps[i].id, apps[i].model, apps[i].rps});
+    PlacementDecision decision;
+    decision.app = apps[i].id;
+    decision.site = ref.site;
+    decision.server = ref.server->id();
+    const std::size_t cell = built.index(i, j);
+    decision.rtt_ms = built.rtt_ms[cell];
+    decision.energy_wh = built.energy_wh[cell];
+    decision.carbon_g = built.carbon_g[cell];
+    result.decisions.push_back(decision);
+  }
+  return result;
+}
+
+}  // namespace carbonedge::core

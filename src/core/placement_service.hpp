@@ -1,0 +1,49 @@
+// Placement service — Algorithm 1 (CarbonEdge incremental placement).
+//
+// Per batch of arriving applications: compute application-server latencies,
+// filter infeasible servers, read server telemetry (capacity, power state,
+// base power) and the mean forecast intensity Ī, solve the Eq. 7
+// optimization, and commit placements + power-state transitions.
+#pragma once
+
+#include <chrono>
+
+#include "core/problem.hpp"
+
+namespace carbonedge::core {
+
+struct PlacementDecision {
+  sim::AppId app = sim::kNoApp;
+  std::size_t site = 0;
+  std::uint32_t server = 0;  // server id within the site
+  double rtt_ms = 0.0;
+  double energy_wh = 0.0;  // expected per-epoch dynamic energy
+  double carbon_g = 0.0;   // expected per-epoch operational carbon (Ī-based)
+};
+
+struct PlacementResult {
+  std::vector<PlacementDecision> decisions;
+  std::vector<sim::AppId> rejected;     // no feasible server
+  std::vector<std::size_t> activated;   // flat server columns powered on
+  double objective = 0.0;
+  double solve_time_ms = 0.0;           // Section 6.5 decision latency
+  bool used_exact_solver = false;
+};
+
+class PlacementService {
+ public:
+  explicit PlacementService(PolicyConfig policy, solver::AssignmentOptions options = {});
+
+  /// Run Algorithm 1 on one batch and commit the outcome to the cluster
+  /// (hosts the applications, powers on activated servers).
+  PlacementResult place(const PlacementInput& input, std::span<const sim::Application> apps);
+
+  [[nodiscard]] const PolicyConfig& policy() const noexcept { return policy_; }
+  void set_policy(PolicyConfig policy) noexcept { policy_ = policy; }
+
+ private:
+  PolicyConfig policy_;
+  solver::AssignmentOptions options_;
+};
+
+}  // namespace carbonedge::core

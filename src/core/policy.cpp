@@ -1,0 +1,26 @@
+#include "core/policy.hpp"
+
+#include "util/table.hpp"
+
+namespace carbonedge::core {
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLatencyAware: return "Latency-aware";
+    case PolicyKind::kEnergyAware: return "Energy-aware";
+    case PolicyKind::kIntensityAware: return "Intensity-aware";
+    case PolicyKind::kCarbonEdge: return "CarbonEdge";
+    case PolicyKind::kMultiObjective: return "Multi-objective";
+  }
+  return "?";
+}
+
+std::string describe(const PolicyConfig& config) {
+  std::string name = to_string(config.kind);
+  if (config.kind == PolicyKind::kMultiObjective) {
+    name += "(alpha=" + util::format_fixed(config.alpha, 2) + ")";
+  }
+  return name;
+}
+
+}  // namespace carbonedge::core

@@ -1,0 +1,46 @@
+// Placement policies (Section 6.1.3 baselines + CarbonEdge, Eq. 7/8).
+//
+//  * Latency-aware   — nearest feasible site (the conventional edge policy).
+//  * Energy-aware    — minimize energy usage under latency/resource limits.
+//  * Intensity-aware — greedily choose the lowest-carbon-intensity feasible
+//                      site, ignoring energy-efficiency differences.
+//  * CarbonEdge      — minimize carbon = energy x intensity, including the
+//                      server-activation term (Eq. 6/7).
+//  * Multi-objective — alpha x normalized energy + (1 - alpha) x normalized
+//                      carbon (Eq. 8, Section 6.4). alpha = 0 is CarbonEdge,
+//                      alpha = 1 is Energy-aware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace carbonedge::core {
+
+enum class PolicyKind : std::uint8_t {
+  kLatencyAware = 0,
+  kEnergyAware,
+  kIntensityAware,
+  kCarbonEdge,
+  kMultiObjective,
+};
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kCarbonEdge;
+  /// Eq. 8 weighting factor; only used by kMultiObjective.
+  double alpha = 0.0;
+
+  [[nodiscard]] static PolicyConfig latency_aware() { return {PolicyKind::kLatencyAware, 0.0}; }
+  [[nodiscard]] static PolicyConfig energy_aware() { return {PolicyKind::kEnergyAware, 0.0}; }
+  [[nodiscard]] static PolicyConfig intensity_aware() {
+    return {PolicyKind::kIntensityAware, 0.0};
+  }
+  [[nodiscard]] static PolicyConfig carbon_edge() { return {PolicyKind::kCarbonEdge, 0.0}; }
+  [[nodiscard]] static PolicyConfig multi_objective(double alpha) {
+    return {PolicyKind::kMultiObjective, alpha};
+  }
+};
+
+[[nodiscard]] const char* to_string(PolicyKind kind) noexcept;
+[[nodiscard]] std::string describe(const PolicyConfig& config);
+
+}  // namespace carbonedge::core

@@ -1,0 +1,25 @@
+#include "core/power_manager.hpp"
+
+namespace carbonedge::core {
+
+std::size_t PowerManager::sweep(sim::EdgeCluster& cluster) const {
+  if (!config_.enabled) return 0;
+  std::size_t powered_off = 0;
+  for (sim::EdgeDataCenter& site : cluster.sites()) {
+    std::size_t on_count = 0;
+    for (const sim::EdgeServer& server : site.servers()) {
+      if (server.powered_on()) ++on_count;
+    }
+    for (sim::EdgeServer& server : site.servers()) {
+      if (on_count <= config_.min_on_per_site) break;
+      if (server.powered_on() && server.app_count() == 0) {
+        server.set_powered_on(false);
+        --on_count;
+        ++powered_off;
+      }
+    }
+  }
+  return powered_off;
+}
+
+}  // namespace carbonedge::core

@@ -1,0 +1,33 @@
+// Power manager: CarbonEdge "manages the power states of edge servers to
+// reduce emissions from idle servers" (Section 4.1). Between placement
+// epochs, idle servers may be powered down; Eq. 4 forbids powering off
+// servers with hosted applications.
+#pragma once
+
+#include "sim/datacenter.hpp"
+
+namespace carbonedge::core {
+
+struct PowerManagerConfig {
+  /// Keep at least this many servers on per site (so every site can absorb
+  /// a burst without an activation round-trip).
+  std::size_t min_on_per_site = 1;
+  /// When false the manager is a no-op (all-on operation, the CDN setting).
+  bool enabled = false;
+};
+
+class PowerManager {
+ public:
+  explicit PowerManager(PowerManagerConfig config = {}) : config_(config) {}
+
+  /// Power off idle servers beyond the per-site floor. Returns the number
+  /// of servers powered down.
+  std::size_t sweep(sim::EdgeCluster& cluster) const;
+
+  [[nodiscard]] const PowerManagerConfig& config() const noexcept { return config_; }
+
+ private:
+  PowerManagerConfig config_;
+};
+
+}  // namespace carbonedge::core

@@ -1,0 +1,55 @@
+// Placement problem construction: turns cluster state + carbon forecasts +
+// latency matrix + a policy into a solver::AssignmentProblem (the Eq. 1-7
+// model after Algorithm 1's latency pre-filtering).
+#pragma once
+
+#include <vector>
+
+#include "carbon/service.hpp"
+#include "core/policy.hpp"
+#include "geo/latency.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/workload.hpp"
+#include "solver/assignment.hpp"
+
+namespace carbonedge::core {
+
+/// Inputs shared by every placement call of one epoch.
+struct PlacementInput {
+  sim::EdgeCluster* cluster = nullptr;
+  const geo::LatencyMatrix* latency = nullptr;        // site x site one-way ms
+  const carbon::CarbonIntensityService* carbon = nullptr;
+  carbon::HourIndex now = 0;
+  std::uint32_t forecast_horizon_hours = 1;  // window for the mean forecast Ī_j
+  double epoch_hours = 1.0;                  // energy integration window
+};
+
+/// The built problem plus the physical matrices behind the policy costs,
+/// kept for accounting and for the multi-objective normalization.
+struct BuiltProblem {
+  solver::AssignmentProblem problem{0, 0, 1};
+  std::vector<sim::EdgeCluster::ServerRef> servers;  // column order
+  // Row-major [app x server] physical quantities (kInfinity where
+  // infeasible): per-epoch dynamic energy (Wh), operational carbon (g), and
+  // network round-trip (ms).
+  std::vector<double> energy_wh;
+  std::vector<double> carbon_g;
+  std::vector<double> rtt_ms;
+  // Per-server (column) activation quantities for initially-off servers.
+  std::vector<double> activation_energy_wh;
+  std::vector<double> activation_carbon_g;
+  std::vector<double> mean_intensity;  // Ī per server column
+
+  [[nodiscard]] std::size_t index(std::size_t app, std::size_t server) const noexcept {
+    return app * servers.size() + server;
+  }
+};
+
+/// Build the assignment problem for a batch of applications under `policy`.
+/// Resource dimensions: device memory (MB) and compute busy-fraction, taken
+/// from each server's *remaining* capacity (incremental placement).
+[[nodiscard]] BuiltProblem build_problem(const PlacementInput& input,
+                                         std::span<const sim::Application> apps,
+                                         const PolicyConfig& policy);
+
+}  // namespace carbonedge::core

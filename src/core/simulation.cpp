@@ -1,0 +1,302 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace carbonedge::core {
+
+EdgeSimulation::EdgeSimulation(sim::EdgeCluster cluster,
+                               const carbon::CarbonIntensityService& carbon,
+                               geo::LatencyModel latency_model)
+    : pristine_(std::move(cluster)), carbon_(&carbon) {
+  const std::vector<geo::City> cities = pristine_.cities();
+  latency_ = geo::LatencyMatrix(latency_model, cities);
+  for (const geo::City& city : cities) {
+    if (!carbon_->has_zone(city.name)) {
+      throw std::invalid_argument("carbon service has no trace for zone " + city.name);
+    }
+  }
+}
+
+SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
+  sim::EdgeCluster cluster = pristine_;  // fresh state per run
+  sim::WorkloadGenerator generator(config.workload, cluster);
+  PlacementService service(config.policy, config.solver_options);
+  PowerManager power_manager(config.power);
+  Orchestrator orchestrator;
+  util::Rng failure_rng(config.failures.seed);
+
+  SimulationResult result;
+  std::unordered_map<sim::AppId, HostedApp> hosted;
+  // (site, server id) -> epoch at which the server comes back.
+  std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> under_repair;
+  // Temporally flexible applications waiting for a low-intensity start.
+  std::vector<sim::Application> deferred;
+
+  const auto find_server = [&](std::size_t site, std::uint32_t server_id) -> sim::EdgeServer& {
+    for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
+      if (server.id() == server_id) return server;
+    }
+    throw std::logic_error("hosted app references unknown server");
+  };
+
+  // Expected per-epoch operational carbon of `app` on `server` at `hour`.
+  const auto carbon_rate_g = [&](const sim::Application& app, const sim::EdgeServer& server,
+                                 const std::string& zone, carbon::HourIndex hour) {
+    const sim::ProfileResult prof = sim::profile_of(app.model, server.device());
+    if (!prof.supported) return -1.0;
+    const double energy_wh = prof.profile.energy_j * app.rps * config.epoch_hours;
+    return energy_wh / 1000.0 *
+           carbon_->mean_forecast(zone, hour, config.forecast_horizon_hours);
+  };
+
+  // Migration data-movement cost of moving `app` out of `zone` at `hour`.
+  const auto migration_cost = [&](const sim::Application& app, const std::string& zone,
+                                  carbon::HourIndex hour) {
+    const double energy_wh =
+        app.state_size_mb / 1024.0 * config.migration.network_energy_wh_per_gb;
+    const double carbon_g =
+        energy_wh / 1000.0 *
+        carbon_->mean_forecast(zone, hour, config.forecast_horizon_hours);
+    return std::pair{energy_wh, carbon_g};
+  };
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto hour = static_cast<carbon::HourIndex>(
+        config.start_hour + static_cast<carbon::HourIndex>(
+                                std::floor(static_cast<double>(epoch) * config.epoch_hours)));
+
+    std::uint32_t epoch_failures = 0;
+    std::uint32_t epoch_migrations = 0;
+    double epoch_migration_energy = 0.0;
+    double epoch_migration_carbon = 0.0;
+    std::vector<sim::Application> batch;
+
+    // 1. Repairs, then fresh failures.
+    for (auto it = under_repair.begin(); it != under_repair.end();) {
+      if (epoch >= it->second) {
+        sim::EdgeServer& server = find_server(it->first.first, it->first.second);
+        server.set_failed(false);
+        server.set_powered_on(true);
+        it = under_repair.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (config.failures.mtbf_epochs > 0.0) {
+      const double fail_p = 1.0 / config.failures.mtbf_epochs;
+      for (std::size_t site = 0; site < cluster.size(); ++site) {
+        for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
+          if (!server.powered_on() || server.failed()) continue;
+          if (!failure_rng.bernoulli(fail_p)) continue;
+          // Re-batch the apps that were on the crashed server.
+          for (auto it = hosted.begin(); it != hosted.end();) {
+            if (it->second.site == site && it->second.server == server.id()) {
+              batch.push_back(it->second.app);
+              ++result.apps_redeployed;
+              it = hosted.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          server.set_failed(true);
+          under_repair[{site, server.id()}] = epoch + config.failures.repair_epochs;
+          ++result.server_failures;
+          ++epoch_failures;
+        }
+      }
+    }
+
+    // 2. Departures.
+    for (auto it = hosted.begin(); it != hosted.end();) {
+      if (--it->second.app.remaining_epochs == 0) {
+        find_server(it->second.site, it->second.server).evict(it->first);
+        it = hosted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // 3. Arrivals — immediately placeable or deferred (temporal shifting,
+    //    paper Section 2.2) — plus periodic re-optimization of live apps.
+    for (sim::Application& app : generator.arrivals(epoch)) {
+      if (app.max_defer_epochs > 0) {
+        ++result.apps_deferred;
+        deferred.push_back(std::move(app));
+      } else {
+        batch.push_back(std::move(app));
+      }
+    }
+    // Release deferred applications at low-intensity hours: start when the
+    // origin zone's current intensity is no worse than anything the
+    // remaining defer budget could buy (the "wait awhile" heuristic), or
+    // when the budget runs out.
+    for (auto it = deferred.begin(); it != deferred.end();) {
+      const std::string& zone = cluster.sites()[it->origin_site].zone();
+      bool start = it->max_defer_epochs == 0;
+      if (!start) {
+        const double now_ci = carbon_->intensity(zone, hour);
+        const auto window = static_cast<std::uint32_t>(
+            std::ceil(static_cast<double>(it->max_defer_epochs) * config.epoch_hours));
+        double future_min = now_ci;
+        for (const double v : carbon_->forecast(zone, hour + 1, window)) {
+          future_min = std::min(future_min, v);
+        }
+        start = now_ci <= future_min * 1.02;
+      }
+      if (start) {
+        batch.push_back(std::move(*it));
+        it = deferred.erase(it);
+      } else {
+        --it->max_defer_epochs;
+        ++it;
+      }
+    }
+    const bool migrate = config.reoptimize_every != 0 && epoch != 0 &&
+                         epoch % config.reoptimize_every == 0;
+    std::unordered_map<sim::AppId, std::size_t> previous_site;
+    if (migrate) {
+      std::vector<sim::AppId> to_move;
+      for (const auto& [id, entry] : hosted) {
+        if (config.migration.cost_aware) {
+          // Veto moves whose projected benefit cannot repay the transfer.
+          const sim::EdgeServer& current = find_server(entry.site, entry.server);
+          const std::string& zone = cluster.sites()[entry.site].zone();
+          const double current_rate = carbon_rate_g(entry.app, current, zone, hour);
+          double best_rate = current_rate;
+          for (std::size_t site = 0; site < cluster.size(); ++site) {
+            const double rtt = 2.0 * latency_.one_way_ms(entry.app.origin_site, site);
+            if (rtt > entry.app.latency_limit_rtt_ms + 1e-9) continue;
+            for (const sim::EdgeServer& server : cluster.sites()[site].servers()) {
+              if (!server.can_host(entry.app.model, entry.app.rps)) continue;
+              const double rate =
+                  carbon_rate_g(entry.app, server, cluster.sites()[site].zone(), hour);
+              if (rate >= 0.0) best_rate = std::min(best_rate, rate);
+            }
+          }
+          const double lifetime = std::min<double>(config.migration.benefit_horizon_epochs,
+                                                   entry.app.remaining_epochs);
+          const double benefit = (current_rate - best_rate) * lifetime;
+          const auto [move_energy, move_carbon] = migration_cost(entry.app, zone, hour);
+          if (benefit < move_carbon * config.migration.hysteresis) {
+            ++result.migrations_skipped;
+            continue;
+          }
+        }
+        to_move.push_back(id);
+      }
+      for (const sim::AppId id : to_move) {
+        auto& entry = hosted.at(id);
+        find_server(entry.site, entry.server).evict(id);
+        previous_site.emplace(id, entry.site);
+        batch.push_back(entry.app);
+        hosted.erase(id);
+      }
+    }
+
+    // 4. Placement (Algorithm 1) + deployment.
+    PlacementInput input;
+    input.cluster = &cluster;
+    input.latency = &latency_;
+    input.carbon = carbon_;
+    input.now = hour;
+    input.forecast_horizon_hours = config.forecast_horizon_hours;
+    input.epoch_hours = config.epoch_hours;
+    const PlacementResult placement = service.place(input, batch);
+    result.total_solve_ms += placement.solve_time_ms;
+    orchestrator.deploy(placement);
+
+    std::unordered_map<sim::AppId, const sim::Application*> by_id;
+    by_id.reserve(batch.size());
+    for (const sim::Application& app : batch) by_id.emplace(app.id, &app);
+    for (const PlacementDecision& decision : placement.decisions) {
+      hosted.emplace(decision.app,
+                     HostedApp{*by_id.at(decision.app), decision.site, decision.server});
+      // Account data movement for re-optimized apps that changed site.
+      const auto prev = previous_site.find(decision.app);
+      if (prev != previous_site.end() && prev->second != decision.site) {
+        const auto [move_energy, move_carbon] =
+            migration_cost(*by_id.at(decision.app), cluster.sites()[prev->second].zone(), hour);
+        epoch_migration_energy += move_energy;
+        epoch_migration_carbon += move_carbon;
+        ++epoch_migrations;
+        ++result.migrations;
+      }
+    }
+    result.apps_placed += placement.decisions.size();
+    result.apps_rejected += placement.rejected.size();
+    result.migration_energy_wh += epoch_migration_energy;
+    result.migration_carbon_g += epoch_migration_carbon;
+
+    // 5. Accounting.
+    sim::EpochRecord record;
+    record.epoch = epoch;
+    record.apps_placed = static_cast<std::uint32_t>(placement.decisions.size());
+    record.apps_rejected = static_cast<std::uint32_t>(placement.rejected.size());
+    record.migration_energy_wh = epoch_migration_energy;
+    record.migration_carbon_g = epoch_migration_carbon;
+    record.migrations = epoch_migrations;
+    record.failures = epoch_failures;
+    record.sites.resize(cluster.size());
+    for (std::size_t s = 0; s < cluster.size(); ++s) {
+      const sim::EdgeDataCenter& site = cluster.sites()[s];
+      sim::SiteEpochRecord& sr = record.sites[s];
+      const double watts =
+          config.account_base_power ? site.power_draw_w() : site.dynamic_power_w();
+      sr.energy_wh = watts * config.epoch_hours;
+      sr.intensity_g_kwh = carbon_->intensity(site.zone(), hour);
+      sr.carbon_g = sr.energy_wh / 1000.0 * sr.intensity_g_kwh;
+      sr.apps_hosted = static_cast<std::uint32_t>(site.app_count());
+      for (const sim::EdgeServer& server : site.servers()) {
+        for (const sim::AppInstance& instance : server.apps()) sr.rps_hosted += instance.rps;
+      }
+    }
+    for (const auto& [id, entry] : hosted) {
+      const double rtt = 2.0 * latency_.one_way_ms(entry.app.origin_site, entry.site);
+      const sim::EdgeServer& server = find_server(entry.site, entry.server);
+      const double response = rtt + server.mean_service_ms(entry.app.model);
+      record.rtt_weighted_sum_ms += rtt * entry.app.rps;
+      record.response_weighted_sum_ms += response * entry.app.rps;
+      record.rps_total += entry.app.rps;
+      result.telemetry.add_response_sample(response, entry.app.rps);
+    }
+    result.telemetry.record(std::move(record));
+
+    // 6. Power management between epochs.
+    power_manager.sweep(cluster);
+  }
+
+  result.mean_solve_ms =
+      config.epochs > 0 ? result.total_solve_ms / static_cast<double>(config.epochs) : 0.0;
+  result.mean_deploy_ms = orchestrator.mean_deploy_ms();
+  return result;
+}
+
+std::vector<SimulationResult> run_policies(EdgeSimulation& simulation,
+                                           const SimulationConfig& base_config,
+                                           const std::vector<PolicyConfig>& policies) {
+  std::vector<SimulationResult> results;
+  results.reserve(policies.size());
+  for (const PolicyConfig& policy : policies) {
+    SimulationConfig config = base_config;
+    config.policy = policy;
+    results.push_back(simulation.run(config));
+  }
+  return results;
+}
+
+double carbon_saving(const SimulationResult& baseline, const SimulationResult& candidate) {
+  const double base = baseline.telemetry.total_carbon_g();
+  if (base <= 0.0) return 0.0;
+  return (base - candidate.telemetry.total_carbon_g()) / base;
+}
+
+double latency_increase_ms(const SimulationResult& baseline, const SimulationResult& candidate) {
+  return candidate.telemetry.mean_rtt_ms() - baseline.telemetry.mean_rtt_ms();
+}
+
+}  // namespace carbonedge::core

@@ -1,0 +1,121 @@
+// Trace-driven edge simulation engine (the paper's CarbonEdge simulator,
+// Section 5.2): drives a cluster through placement epochs against carbon
+// and latency traces, with application arrivals/departures, optional
+// periodic re-optimization (migration), power management, and telemetry.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/orchestrator.hpp"
+#include "core/placement_service.hpp"
+#include "core/power_manager.hpp"
+#include "geo/latency.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/workload.hpp"
+
+namespace carbonedge::core {
+
+/// Data-movement cost model for migrations (the paper's Section 9 future
+/// work): moving an application transfers its state_size_mb across the
+/// network at an energy cost per gigabyte; the resulting emissions are
+/// charged to the epoch at the origin zone's intensity.
+struct MigrationConfig {
+  /// End-to-end network+storage energy per GB moved (NICs, switches,
+  /// transit; literature values run 20-140 Wh/GB for WAN paths).
+  double network_energy_wh_per_gb = 60.0;
+  /// When true, re-optimization only moves an application if its predicted
+  /// carbon saving over `benefit_horizon_epochs` exceeds the migration
+  /// emissions by `hysteresis` (guards against churn).
+  bool cost_aware = false;
+  double benefit_horizon_epochs = 24.0;
+  double hysteresis = 1.2;
+};
+
+/// Crash-failure injection: each powered-on server fails independently per
+/// epoch with probability 1/mtbf_epochs, drops its applications (the engine
+/// redeploys them through the placement service, Figure 6 step 1), and
+/// returns to service after repair_epochs.
+struct FailureConfig {
+  double mtbf_epochs = 0.0;  // 0 disables failure injection
+  std::uint32_t repair_epochs = 8;
+  std::uint64_t seed = 0xFA11ED5EULL;
+};
+
+struct SimulationConfig {
+  PolicyConfig policy;
+  carbon::HourIndex start_hour = 0;
+  std::uint32_t epochs = 24;
+  double epoch_hours = 1.0;
+  sim::WorkloadParams workload;
+  std::uint32_t forecast_horizon_hours = 1;
+  PowerManagerConfig power;
+  /// Re-place every live application every N epochs (0 = placements are
+  /// sticky for an app's lifetime). The seasonality experiments migrate
+  /// monthly.
+  std::uint32_t reoptimize_every = 0;
+  MigrationConfig migration;
+  FailureConfig failures;
+  solver::AssignmentOptions solver_options;
+  /// When true, site energy includes base power of powered-on servers; when
+  /// false, accounting is application-attributable (dynamic energy plus
+  /// activation), matching the paper's per-application emission reporting.
+  bool account_base_power = false;
+};
+
+struct SimulationResult {
+  sim::Telemetry telemetry;
+  double total_solve_ms = 0.0;
+  double mean_solve_ms = 0.0;
+  double mean_deploy_ms = 0.0;
+  std::uint64_t apps_placed = 0;
+  std::uint64_t apps_rejected = 0;
+  std::uint64_t migrations = 0;           // re-optimization moves applied
+  std::uint64_t migrations_skipped = 0;   // vetoed by the cost-aware filter
+  double migration_energy_wh = 0.0;       // data-movement energy
+  double migration_carbon_g = 0.0;        // data-movement emissions
+  std::uint64_t server_failures = 0;
+  std::uint64_t apps_redeployed = 0;      // re-placed after a crash
+  std::uint64_t apps_deferred = 0;        // temporally shifted arrivals
+};
+
+/// Owns a pristine cluster copy; every run() starts from that state, so the
+/// same simulation object can evaluate multiple policies on identical
+/// workloads (the workload stream depends only on the config seed).
+class EdgeSimulation {
+ public:
+  EdgeSimulation(sim::EdgeCluster cluster, const carbon::CarbonIntensityService& carbon,
+                 geo::LatencyModel latency_model = geo::LatencyModel{});
+
+  [[nodiscard]] SimulationResult run(const SimulationConfig& config);
+
+  [[nodiscard]] const geo::LatencyMatrix& latency() const noexcept { return latency_; }
+  [[nodiscard]] const sim::EdgeCluster& pristine_cluster() const noexcept { return pristine_; }
+
+ private:
+  struct HostedApp {
+    sim::Application app;
+    std::size_t site = 0;
+    std::uint32_t server = 0;
+  };
+
+  sim::EdgeCluster pristine_;
+  const carbon::CarbonIntensityService* carbon_;
+  geo::LatencyMatrix latency_;
+};
+
+/// Convenience: run one config for each policy on identical workloads and
+/// return results in the same order.
+[[nodiscard]] std::vector<SimulationResult> run_policies(
+    EdgeSimulation& simulation, const SimulationConfig& base_config,
+    const std::vector<PolicyConfig>& policies);
+
+/// Carbon saving of `candidate` relative to `baseline` (fraction in [0,1],
+/// negative if the candidate emits more).
+[[nodiscard]] double carbon_saving(const SimulationResult& baseline,
+                                   const SimulationResult& candidate);
+
+/// Request-weighted mean RTT increase of `candidate` over `baseline` (ms).
+[[nodiscard]] double latency_increase_ms(const SimulationResult& baseline,
+                                         const SimulationResult& candidate);
+
+}  // namespace carbonedge::core

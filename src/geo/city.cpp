@@ -1,0 +1,331 @@
+#include "geo/city.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace carbonedge::geo {
+namespace {
+
+struct CityRow {
+  const char* name;
+  const char* country;
+  Continent continent;
+  double lat;
+  double lon;
+  double population_k;
+};
+
+constexpr Continent kNA = Continent::kNorthAmerica;
+constexpr Continent kEU = Continent::kEurope;
+
+// Coordinates are city centers (2 decimal places, ~1 km accuracy — far below
+// the mesoscale distances of interest). Populations are metro-area estimates
+// in thousands, used only as demand/capacity weights (Section 6.3.4).
+constexpr CityRow kCities[] = {
+    // --- United States: paper regions (Figures 2-4, Table 1) ---
+    {"Jacksonville", "US", kNA, 30.33, -81.66, 1600},
+    {"Miami", "US", kNA, 25.76, -80.19, 6100},
+    {"Tampa", "US", kNA, 27.95, -82.46, 3200},
+    {"Orlando", "US", kNA, 28.54, -81.38, 2700},
+    {"Tallahassee", "US", kNA, 30.44, -84.28, 390},
+    {"Las Vegas", "US", kNA, 36.17, -115.14, 2300},
+    {"Kingman", "US", kNA, 35.19, -114.05, 33},
+    {"San Diego", "US", kNA, 32.72, -117.16, 3300},
+    {"Phoenix", "US", kNA, 33.45, -112.07, 4900},
+    {"Flagstaff", "US", kNA, 35.20, -111.65, 77},
+    // --- United States: CDN sites ---
+    {"New York", "US", kNA, 40.71, -74.01, 19500},
+    {"Los Angeles", "US", kNA, 34.05, -118.24, 13200},
+    {"Chicago", "US", kNA, 41.88, -87.63, 9500},
+    {"Dallas", "US", kNA, 32.78, -96.80, 7600},
+    {"Houston", "US", kNA, 29.76, -95.37, 7100},
+    {"Washington", "US", kNA, 38.91, -77.04, 6300},
+    {"Philadelphia", "US", kNA, 39.95, -75.17, 6200},
+    {"Atlanta", "US", kNA, 33.75, -84.39, 6000},
+    {"Boston", "US", kNA, 42.36, -71.06, 4900},
+    {"San Francisco", "US", kNA, 37.77, -122.42, 4700},
+    {"Seattle", "US", kNA, 47.61, -122.33, 4000},
+    {"Detroit", "US", kNA, 42.33, -83.05, 4300},
+    {"Minneapolis", "US", kNA, 44.98, -93.27, 3600},
+    {"Denver", "US", kNA, 39.74, -104.99, 3000},
+    {"St. Louis", "US", kNA, 38.63, -90.20, 2800},
+    {"Baltimore", "US", kNA, 39.29, -76.61, 2800},
+    {"Charlotte", "US", kNA, 35.23, -80.84, 2700},
+    {"San Antonio", "US", kNA, 29.42, -98.49, 2600},
+    {"Portland", "US", kNA, 45.52, -122.68, 2500},
+    {"Sacramento", "US", kNA, 38.58, -121.49, 2400},
+    {"Austin", "US", kNA, 30.27, -97.74, 2300},
+    {"Pittsburgh", "US", kNA, 40.44, -79.99, 2300},
+    {"Cincinnati", "US", kNA, 39.10, -84.51, 2300},
+    {"Kansas City", "US", kNA, 39.10, -94.58, 2200},
+    {"Columbus", "US", kNA, 39.96, -83.00, 2100},
+    {"Indianapolis", "US", kNA, 39.77, -86.16, 2100},
+    {"Cleveland", "US", kNA, 41.50, -81.69, 2000},
+    {"Nashville", "US", kNA, 36.16, -86.78, 2000},
+    {"Milwaukee", "US", kNA, 43.04, -87.91, 1600},
+    {"Oklahoma City", "US", kNA, 35.47, -97.52, 1400},
+    {"Raleigh", "US", kNA, 35.78, -78.64, 1400},
+    {"Memphis", "US", kNA, 35.15, -90.05, 1300},
+    {"Louisville", "US", kNA, 38.25, -85.76, 1300},
+    {"Richmond", "US", kNA, 37.54, -77.44, 1300},
+    {"New Orleans", "US", kNA, 29.95, -90.07, 1300},
+    {"Salt Lake City", "US", kNA, 40.76, -111.89, 1300},
+    {"Hartford", "US", kNA, 41.77, -72.67, 1200},
+    {"Buffalo", "US", kNA, 42.89, -78.88, 1100},
+    {"Tucson", "US", kNA, 32.22, -110.97, 1000},
+    {"Fresno", "US", kNA, 36.74, -119.79, 1000},
+    {"Omaha", "US", kNA, 41.26, -95.93, 970},
+    {"Albuquerque", "US", kNA, 35.08, -106.65, 920},
+    {"El Paso", "US", kNA, 31.76, -106.49, 870},
+    {"Boise", "US", kNA, 43.62, -116.20, 760},
+    {"Little Rock", "US", kNA, 34.75, -92.29, 750},
+    {"Des Moines", "US", kNA, 41.59, -93.62, 700},
+    {"Spokane", "US", kNA, 47.66, -117.43, 570},
+    {"Billings", "US", kNA, 45.78, -108.50, 180},
+    {"Cheyenne", "US", kNA, 41.14, -104.82, 100},
+    {"Reno", "US", kNA, 39.53, -119.81, 490},
+    {"Jackson", "US", kNA, 32.30, -90.18, 590},
+    {"Birmingham AL", "US", kNA, 33.52, -86.80, 1100},
+    {"Knoxville", "US", kNA, 35.96, -83.92, 900},
+    {"Greenville", "US", kNA, 34.85, -82.40, 940},
+    {"Columbia", "US", kNA, 34.00, -81.03, 840},
+    {"Savannah", "US", kNA, 32.08, -81.09, 400},
+    {"Charleston", "US", kNA, 32.78, -79.93, 800},
+    {"Norfolk", "US", kNA, 36.85, -76.29, 1800},
+    {"Rochester", "US", kNA, 43.16, -77.61, 1100},
+    {"Syracuse", "US", kNA, 43.05, -76.15, 660},
+    {"Albany", "US", kNA, 42.65, -73.75, 900},
+    {"Portland ME", "US", kNA, 43.66, -70.26, 550},
+    {"Providence", "US", kNA, 41.82, -71.41, 1600},
+    {"Grand Rapids", "US", kNA, 42.96, -85.66, 1100},
+    {"Madison", "US", kNA, 43.07, -89.40, 680},
+    {"Toledo", "US", kNA, 41.65, -83.54, 640},
+    {"Dayton", "US", kNA, 39.76, -84.19, 810},
+    {"Lexington", "US", kNA, 38.04, -84.50, 520},
+    {"Wichita", "US", kNA, 37.69, -97.34, 650},
+    {"Tulsa", "US", kNA, 36.15, -95.99, 1000},
+    {"Springfield MO", "US", kNA, 37.21, -93.29, 480},
+    {"Fargo", "US", kNA, 46.88, -96.79, 250},
+    {"Sioux Falls", "US", kNA, 43.54, -96.73, 280},
+    {"Lincoln", "US", kNA, 40.81, -96.70, 340},
+    {"Colorado Springs", "US", kNA, 38.83, -104.82, 760},
+    {"Santa Fe", "US", kNA, 35.69, -105.94, 150},
+    {"Bakersfield", "US", kNA, 35.37, -119.02, 910},
+    {"San Jose", "US", kNA, 37.34, -121.89, 2000},
+    {"Eugene", "US", kNA, 44.05, -123.09, 380},
+    {"Tacoma", "US", kNA, 47.25, -122.44, 920},
+    {"Missoula", "US", kNA, 46.87, -113.99, 120},
+    {"Baton Rouge", "US", kNA, 30.45, -91.19, 870},
+    {"Mobile", "US", kNA, 30.69, -88.04, 430},
+    {"Shreveport", "US", kNA, 32.52, -93.75, 390},
+    {"Corpus Christi", "US", kNA, 27.80, -97.40, 440},
+    {"Lubbock", "US", kNA, 33.58, -101.86, 330},
+    {"Amarillo", "US", kNA, 35.19, -101.85, 270},
+    // --- Canada (Figure 1 macro comparison) ---
+    {"Toronto", "CA", kNA, 43.65, -79.38, 6200},
+    {"Montreal", "CA", kNA, 45.50, -73.57, 4300},
+    {"Vancouver", "CA", kNA, 49.28, -123.12, 2600},
+    // --- Europe: paper regions (Figures 2-4, Table 1, Section 6.3.3) ---
+    {"Milan", "IT", kEU, 45.46, 9.19, 4300},
+    {"Rome", "IT", kEU, 41.90, 12.50, 4300},
+    {"Cagliari", "IT", kEU, 39.22, 9.11, 430},
+    {"Palermo", "IT", kEU, 38.12, 13.36, 850},
+    {"Arezzo", "IT", kEU, 43.46, 11.88, 100},
+    {"Bern", "CH", kEU, 46.95, 7.45, 420},
+    {"Munich", "DE", kEU, 48.14, 11.58, 2900},
+    {"Lyon", "FR", kEU, 45.76, 4.84, 2300},
+    {"Graz", "AT", kEU, 47.07, 15.44, 450},
+    {"Paris", "FR", kEU, 48.86, 2.35, 12800},
+    {"Oslo", "NO", kEU, 59.91, 10.75, 1050},
+    {"Vienna", "AT", kEU, 48.21, 16.37, 2900},
+    {"Zagreb", "HR", kEU, 45.81, 15.98, 800},
+    // --- Europe: CDN sites ---
+    {"London", "GB", kEU, 51.51, -0.13, 14300},
+    {"Madrid", "ES", kEU, 40.42, -3.70, 6700},
+    {"Barcelona", "ES", kEU, 41.39, 2.17, 5600},
+    {"Berlin", "DE", kEU, 52.52, 13.40, 6100},
+    {"Hamburg", "DE", kEU, 53.55, 9.99, 3300},
+    {"Frankfurt", "DE", kEU, 50.11, 8.68, 2700},
+    {"Cologne", "DE", kEU, 50.94, 6.96, 2000},
+    {"Stuttgart", "DE", kEU, 48.78, 9.18, 2800},
+    {"Dusseldorf", "DE", kEU, 51.23, 6.77, 1500},
+    {"Leipzig", "DE", kEU, 51.34, 12.37, 600},
+    {"Dresden", "DE", kEU, 51.05, 13.74, 560},
+    {"Nuremberg", "DE", kEU, 49.45, 11.08, 500},
+    {"Hannover", "DE", kEU, 52.37, 9.73, 540},
+    {"Naples", "IT", kEU, 40.85, 14.27, 3100},
+    {"Turin", "IT", kEU, 45.07, 7.69, 1700},
+    {"Bologna", "IT", kEU, 44.49, 11.34, 1000},
+    {"Florence", "IT", kEU, 43.77, 11.26, 1000},
+    {"Venice", "IT", kEU, 45.44, 12.32, 850},
+    {"Genoa", "IT", kEU, 44.41, 8.93, 850},
+    {"Amsterdam", "NL", kEU, 52.37, 4.90, 2500},
+    {"Rotterdam", "NL", kEU, 51.92, 4.48, 1000},
+    {"Brussels", "BE", kEU, 50.85, 4.35, 2100},
+    {"Zurich", "CH", kEU, 47.37, 8.54, 1400},
+    {"Geneva", "CH", kEU, 46.20, 6.15, 600},
+    {"Marseille", "FR", kEU, 43.30, 5.37, 1800},
+    {"Toulouse", "FR", kEU, 43.60, 1.44, 1400},
+    {"Bordeaux", "FR", kEU, 44.84, -0.58, 1200},
+    {"Lille", "FR", kEU, 50.63, 3.07, 1200},
+    {"Nice", "FR", kEU, 43.70, 7.27, 1000},
+    {"Lisbon", "PT", kEU, 38.72, -9.14, 2900},
+    {"Porto", "PT", kEU, 41.15, -8.61, 1700},
+    {"Dublin", "IE", kEU, 53.35, -6.26, 1900},
+    {"Manchester", "GB", kEU, 53.48, -2.24, 2800},
+    {"Birmingham", "GB", kEU, 52.49, -1.89, 2900},
+    {"Glasgow", "GB", kEU, 55.86, -4.25, 1700},
+    {"Edinburgh", "GB", kEU, 55.95, -3.19, 900},
+    {"Copenhagen", "DK", kEU, 55.68, 12.57, 2000},
+    {"Aarhus", "DK", kEU, 56.16, 10.20, 350},
+    {"Stockholm", "SE", kEU, 59.33, 18.07, 2400},
+    {"Gothenburg", "SE", kEU, 57.71, 11.97, 1000},
+    {"Malmo", "SE", kEU, 55.60, 13.00, 740},
+    {"Bergen", "NO", kEU, 60.39, 5.32, 420},
+    {"Helsinki", "FI", kEU, 60.17, 24.94, 1500},
+    {"Warsaw", "PL", kEU, 52.23, 21.01, 3100},
+    {"Krakow", "PL", kEU, 50.06, 19.94, 1400},
+    {"Wroclaw", "PL", kEU, 51.11, 17.03, 1250},
+    {"Gdansk", "PL", kEU, 54.35, 18.65, 1100},
+    {"Prague", "CZ", kEU, 50.08, 14.44, 2700},
+    {"Brno", "CZ", kEU, 49.20, 16.61, 700},
+    {"Budapest", "HU", kEU, 47.50, 19.04, 3000},
+    {"Bucharest", "RO", kEU, 44.43, 26.10, 1800},
+    {"Sofia", "BG", kEU, 42.70, 23.32, 1300},
+    {"Athens", "GR", kEU, 37.98, 23.73, 3600},
+    {"Thessaloniki", "GR", kEU, 40.64, 22.94, 1100},
+    {"Ljubljana", "SI", kEU, 46.06, 14.51, 300},
+    {"Bratislava", "SK", kEU, 48.15, 17.11, 700},
+    {"Linz", "AT", kEU, 48.31, 14.29, 800},
+    {"Seville", "ES", kEU, 37.39, -5.99, 1500},
+    {"Valencia", "ES", kEU, 39.47, -0.38, 1600},
+    {"Bilbao", "ES", kEU, 43.26, -2.93, 1000},
+    {"Tallinn", "EE", kEU, 59.44, 24.75, 450},
+    {"Riga", "LV", kEU, 56.95, 24.11, 630},
+    {"Vilnius", "LT", kEU, 54.69, 25.28, 540},
+    {"Bremen", "DE", kEU, 53.08, 8.80, 680},
+    {"Essen", "DE", kEU, 51.46, 7.01, 580},
+    {"Mannheim", "DE", kEU, 49.49, 8.47, 870},
+    {"Karlsruhe", "DE", kEU, 49.01, 8.40, 740},
+    {"Nantes", "FR", kEU, 47.22, -1.55, 990},
+    {"Strasbourg", "FR", kEU, 48.58, 7.75, 800},
+    {"Montpellier", "FR", kEU, 43.61, 3.88, 800},
+    {"Rennes", "FR", kEU, 48.11, -1.68, 750},
+    {"Grenoble", "FR", kEU, 45.19, 5.72, 690},
+    {"Zaragoza", "ES", kEU, 41.65, -0.88, 780},
+    {"Malaga", "ES", kEU, 36.72, -4.42, 1000},
+    {"Murcia", "ES", kEU, 37.99, -1.13, 670},
+    {"Granada", "ES", kEU, 37.18, -3.60, 540},
+    {"Bari", "IT", kEU, 41.13, 16.87, 750},
+    {"Catania", "IT", kEU, 37.50, 15.09, 660},
+    {"Verona", "IT", kEU, 45.44, 10.99, 710},
+    {"Trieste", "IT", kEU, 45.65, 13.78, 410},
+    {"Leeds", "GB", kEU, 53.80, -1.55, 1900},
+    {"Sheffield", "GB", kEU, 53.38, -1.47, 1400},
+    {"Newcastle", "GB", kEU, 54.98, -1.61, 1700},
+    {"Bristol", "GB", kEU, 51.45, -2.59, 1100},
+    {"Nottingham", "GB", kEU, 52.95, -1.15, 1300},
+    {"Cardiff", "GB", kEU, 51.48, -3.18, 980},
+    {"Belfast", "GB", kEU, 54.60, -5.93, 640},
+    {"Cork", "IE", kEU, 51.90, -8.47, 400},
+    {"Utrecht", "NL", kEU, 52.09, 5.12, 880},
+    {"Eindhoven", "NL", kEU, 51.44, 5.47, 780},
+    {"Groningen", "NL", kEU, 53.22, 6.57, 400},
+    {"Antwerp", "BE", kEU, 51.22, 4.40, 1100},
+    {"Ghent", "BE", kEU, 51.05, 3.72, 560},
+    {"Liege", "BE", kEU, 50.63, 5.57, 750},
+    {"Basel", "CH", kEU, 47.56, 7.59, 580},
+    {"Lausanne", "CH", kEU, 46.52, 6.63, 440},
+    {"Salzburg", "AT", kEU, 47.81, 13.04, 360},
+    {"Innsbruck", "AT", kEU, 47.27, 11.40, 300},
+    {"Poznan", "PL", kEU, 52.41, 16.93, 1000},
+    {"Lodz", "PL", kEU, 51.76, 19.46, 1000},
+    {"Katowice", "PL", kEU, 50.26, 19.02, 2000},
+    {"Szczecin", "PL", kEU, 53.43, 14.55, 680},
+    {"Ostrava", "CZ", kEU, 49.82, 18.26, 970},
+    {"Plzen", "CZ", kEU, 49.75, 13.38, 330},
+    {"Debrecen", "HU", kEU, 47.53, 21.64, 500},
+    {"Cluj-Napoca", "RO", kEU, 46.77, 23.59, 700},
+    {"Timisoara", "RO", kEU, 45.76, 21.23, 600},
+    {"Plovdiv", "BG", kEU, 42.14, 24.75, 540},
+    {"Varna", "BG", kEU, 43.21, 27.92, 470},
+    {"Patras", "GR", kEU, 38.25, 21.73, 310},
+    {"Split", "HR", kEU, 43.51, 16.44, 340},
+    {"Maribor", "SI", kEU, 46.55, 15.65, 190},
+    {"Kosice", "SK", kEU, 48.72, 21.26, 360},
+    {"Turku", "FI", kEU, 60.45, 22.27, 330},
+    {"Tampere", "FI", kEU, 61.50, 23.76, 420},
+    {"Trondheim", "NO", kEU, 63.43, 10.40, 280},
+    {"Stavanger", "NO", kEU, 58.97, 5.73, 360},
+    {"Uppsala", "SE", kEU, 59.86, 17.64, 390},
+    {"Odense", "DK", kEU, 55.40, 10.40, 290},
+    {"Braga", "PT", kEU, 41.55, -8.42, 480},
+    {"Coimbra", "PT", kEU, 40.21, -8.43, 330},
+};
+
+}  // namespace
+
+CityDatabase::CityDatabase() {
+  cities_.reserve(std::size(kCities));
+  CityId next_id = 0;
+  for (const CityRow& row : kCities) {
+    City c;
+    c.id = next_id++;
+    c.name = row.name;
+    c.country = row.country;
+    c.continent = row.continent;
+    c.location = {row.lat, row.lon};
+    c.population_k = row.population_k;
+    cities_.push_back(std::move(c));
+  }
+}
+
+const CityDatabase& CityDatabase::builtin() {
+  static const CityDatabase db;
+  return db;
+}
+
+const City& CityDatabase::by_id(CityId id) const {
+  if (id >= cities_.size()) throw std::out_of_range("city id out of range");
+  return cities_[id];
+}
+
+std::optional<CityId> CityDatabase::find(std::string_view name) const noexcept {
+  for (const City& c : cities_) {
+    if (c.name == name) return c.id;
+  }
+  return std::nullopt;
+}
+
+const City& CityDatabase::require(std::string_view name) const {
+  const auto id = find(name);
+  if (!id) throw std::out_of_range("unknown city: " + std::string(name));
+  return cities_[*id];
+}
+
+std::vector<CityId> CityDatabase::by_continent(Continent continent) const {
+  std::vector<CityId> ids;
+  for (const City& c : cities_) {
+    if (c.continent == continent) ids.push_back(c.id);
+  }
+  std::sort(ids.begin(), ids.end(), [this](CityId a, CityId b) {
+    return cities_[a].population_k > cities_[b].population_k;
+  });
+  return ids;
+}
+
+CityId CityDatabase::nearest(const GeoPoint& point) const {
+  CityId best = 0;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const City& c : cities_) {
+    const double km = haversine_km(point, c.location);
+    if (km < best_km) {
+      best_km = km;
+      best = c.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace carbonedge::geo

@@ -1,0 +1,56 @@
+#include "geo/coord.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace carbonedge::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0088;
+
+constexpr double radians(double degrees) noexcept {
+  return degrees * std::numbers::pi / 180.0;
+}
+
+}  // namespace
+
+const char* to_string(Continent continent) noexcept {
+  switch (continent) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kEurope: return "Europe";
+  }
+  return "?";
+}
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = radians(a.lat_deg);
+  const double lat2 = radians(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+void BoundingBox::extend(const GeoPoint& p) noexcept {
+  min.lat_deg = std::min(min.lat_deg, p.lat_deg);
+  min.lon_deg = std::min(min.lon_deg, p.lon_deg);
+  max.lat_deg = std::max(max.lat_deg, p.lat_deg);
+  max.lon_deg = std::max(max.lon_deg, p.lon_deg);
+}
+
+double BoundingBox::width_km() const noexcept {
+  if (max.lat_deg < min.lat_deg) return 0.0;
+  const double mid_lat = (min.lat_deg + max.lat_deg) / 2.0;
+  return haversine_km({mid_lat, min.lon_deg}, {mid_lat, max.lon_deg});
+}
+
+double BoundingBox::height_km() const noexcept {
+  if (max.lat_deg < min.lat_deg) return 0.0;
+  const double mid_lon = (min.lon_deg + max.lon_deg) / 2.0;
+  return haversine_km({min.lat_deg, mid_lon}, {max.lat_deg, mid_lon});
+}
+
+}  // namespace carbonedge::geo

@@ -1,0 +1,38 @@
+// Geographic primitives: WGS-84 points and great-circle distance.
+#pragma once
+
+#include <compare>
+
+namespace carbonedge::geo {
+
+/// Continents covered by the study (the paper's data is US + Europe, with
+/// Canada appearing in the Figure 1 macro comparison).
+enum class Continent { kNorthAmerica, kEurope };
+
+[[nodiscard]] const char* to_string(Continent continent) noexcept;
+
+/// A latitude/longitude pair in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr auto operator<=>(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance between two points in kilometers (haversine,
+/// mean Earth radius 6371.0088 km).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Axis-aligned bounding box of a set of points; used to report region
+/// extents like the paper's "807km x 712km" annotations in Figure 2.
+struct BoundingBox {
+  GeoPoint min{90.0, 180.0};
+  GeoPoint max{-90.0, -180.0};
+
+  void extend(const GeoPoint& p) noexcept;
+  /// Width (east-west, at the mid latitude) and height (north-south) in km.
+  [[nodiscard]] double width_km() const noexcept;
+  [[nodiscard]] double height_km() const noexcept;
+};
+
+}  // namespace carbonedge::geo

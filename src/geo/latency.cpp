@@ -1,0 +1,53 @@
+#include "geo/latency.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace carbonedge::geo {
+namespace {
+
+// Symmetric hash of a city pair: order-independent so L(a,b) == L(b,a).
+std::uint64_t pair_hash(const City& a, const City& b, std::uint64_t seed) noexcept {
+  const std::uint64_t ha = util::fnv1a(a.name);
+  const std::uint64_t hb = util::fnv1a(b.name);
+  const std::uint64_t lo = ha < hb ? ha : hb;
+  const std::uint64_t hi = ha < hb ? hb : ha;
+  return util::mix64(lo ^ util::mix64(hi ^ seed));
+}
+
+double unit_from_hash(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double LatencyModel::one_way_ms(const City& a, const City& b) const noexcept {
+  if (a.id == b.id) return 0.0;
+  const double km = haversine_km(a.location, b.location);
+  double inflation =
+      params_.inflation_min +
+      params_.inflation_span * unit_from_hash(pair_hash(a, b, params_.seed));
+  if (a.country != b.country) inflation += params_.cross_border_penalty;
+  return params_.base_ms + km / params_.fiber_km_per_ms * inflation;
+}
+
+LatencyMatrix::LatencyMatrix(std::size_t count, std::vector<double> one_way_values)
+    : count_(count), values_(std::move(one_way_values)) {
+  if (values_.size() != count_ * count_) {
+    throw std::invalid_argument("latency matrix: values size must be count^2");
+  }
+}
+
+LatencyMatrix::LatencyMatrix(const LatencyModel& model, std::span<const City> cities)
+    : count_(cities.size()), values_(cities.size() * cities.size(), 0.0) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    for (std::size_t j = i + 1; j < count_; ++j) {
+      const double ms = model.one_way_ms(cities[i], cities[j]);
+      values_[i * count_ + j] = ms;
+      values_[j * count_ + i] = ms;
+    }
+  }
+}
+
+}  // namespace carbonedge::geo

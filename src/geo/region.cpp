@@ -1,0 +1,74 @@
+#include "geo/region.hpp"
+
+#include <initializer_list>
+
+namespace carbonedge::geo {
+namespace {
+
+Region make_region(std::string name, std::initializer_list<const char*> names) {
+  const auto& db = CityDatabase::builtin();
+  Region region;
+  region.name = std::move(name);
+  region.cities.reserve(names.size());
+  for (const char* city_name : names) region.cities.push_back(db.require(city_name).id);
+  return region;
+}
+
+}  // namespace
+
+std::vector<City> Region::resolve() const {
+  const auto& db = CityDatabase::builtin();
+  std::vector<City> out;
+  out.reserve(cities.size());
+  for (const CityId id : cities) out.push_back(db.by_id(id));
+  return out;
+}
+
+BoundingBox Region::bounds() const {
+  BoundingBox box;
+  for (const City& c : resolve()) box.extend(c.location);
+  return box;
+}
+
+Region florida_region() {
+  return make_region("Florida",
+                     {"Jacksonville", "Miami", "Tampa", "Orlando", "Tallahassee"});
+}
+
+Region west_us_region() {
+  return make_region("West US",
+                     {"Las Vegas", "Kingman", "San Diego", "Phoenix", "Flagstaff"});
+}
+
+Region italy_region() {
+  return make_region("Italy", {"Milan", "Rome", "Cagliari", "Palermo", "Arezzo"});
+}
+
+Region central_eu_region() {
+  return make_region("Central EU", {"Bern", "Munich", "Lyon", "Graz", "Milan"});
+}
+
+Region macro_region() {
+  return make_region("Macro", {"Toronto", "Los Angeles", "New York", "Warsaw"});
+}
+
+std::vector<Region> mesoscale_regions() {
+  return {florida_region(), west_us_region(), italy_region(), central_eu_region()};
+}
+
+Region cdn_region(Continent continent, std::size_t max_sites) {
+  const auto& db = CityDatabase::builtin();
+  Region region;
+  region.name = continent == Continent::kNorthAmerica ? "CDN US" : "CDN Europe";
+  std::vector<CityId> ids = db.by_continent(continent);
+  if (continent == Continent::kNorthAmerica) {
+    // The paper's CDN analysis covers US sites; drop Canadian metros, which
+    // only participate in the Figure 1 macro comparison.
+    std::erase_if(ids, [&](CityId id) { return db.by_id(id).country != "US"; });
+  }
+  if (max_sites != 0 && ids.size() > max_sites) ids.resize(max_sites);
+  region.cities = std::move(ids);
+  return region;
+}
+
+}  // namespace carbonedge::geo

@@ -1,0 +1,51 @@
+// Mesoscale regions and CDN deployments.
+//
+// The paper studies four hand-picked mesoscale regions (Figure 2) of five
+// carbon zones each, a four-zone macro comparison (Figure 1), and a
+// continental CDN deployment derived from Akamai edge locations. This module
+// reconstructs all of them from the built-in city database; the CDN set is
+// synthesized population-weighted (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/city.hpp"
+
+namespace carbonedge::geo {
+
+/// An ordered set of cities forming one experiment geography.
+struct Region {
+  std::string name;
+  std::vector<CityId> cities;
+
+  [[nodiscard]] std::vector<City> resolve() const;
+  [[nodiscard]] BoundingBox bounds() const;
+};
+
+/// Figure 2a: Florida — Jacksonville, Miami, Tampa, Orlando, Tallahassee.
+[[nodiscard]] Region florida_region();
+
+/// Figure 2b: West US — Las Vegas, Kingman, San Diego, Phoenix, Flagstaff.
+[[nodiscard]] Region west_us_region();
+
+/// Figure 2c: Italy — Milan, Rome, Cagliari, Palermo, Arezzo.
+[[nodiscard]] Region italy_region();
+
+/// Figure 2d: Central Europe — Bern, Munich, Lyon, Graz, Milan.
+[[nodiscard]] Region central_eu_region();
+
+/// Figure 1: macro zones — Toronto (Ontario), Los Angeles (California),
+/// New York, Warsaw (Poland).
+[[nodiscard]] Region macro_region();
+
+/// All four mesoscale regions in Figure 2 order.
+[[nodiscard]] std::vector<Region> mesoscale_regions();
+
+/// A continental CDN deployment: up to `max_sites` cities on `continent`,
+/// chosen by descending metro population (mirrors how CDN operators place
+/// PoPs; the paper merges multiple DCs per city, so one site per city).
+/// `max_sites == 0` means "all available cities".
+[[nodiscard]] Region cdn_region(Continent continent, std::size_t max_sites = 0);
+
+}  // namespace carbonedge::geo

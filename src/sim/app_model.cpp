@@ -1,0 +1,68 @@
+#include "sim/app_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace carbonedge::sim {
+namespace {
+
+// Rows follow Figure 7 (energy in J, memory in MB, inference in ms).
+// Devices: Orin Nano, A2, GTX 1080 for GPU models; Xeon for SciCpu.
+struct ProfileRow {
+  ModelType model;
+  DeviceType device;
+  WorkloadProfile profile;
+};
+
+constexpr ProfileRow kProfiles[] = {
+    {ModelType::kEfficientNetB0, DeviceType::kOrinNano, {0.016, 128.0, 8.2}},
+    {ModelType::kEfficientNetB0, DeviceType::kA2, {0.024, 150.0, 4.8}},
+    {ModelType::kEfficientNetB0, DeviceType::kGtx1080, {0.031, 176.0, 2.6}},
+    {ModelType::kResNet50, DeviceType::kOrinNano, {0.082, 246.0, 24.5}},
+    {ModelType::kResNet50, DeviceType::kA2, {0.118, 288.0, 11.8}},
+    {ModelType::kResNet50, DeviceType::kGtx1080, {0.158, 330.0, 5.9}},
+    {ModelType::kYoloV4, DeviceType::kOrinNano, {0.71, 452.0, 39.6}},
+    {ModelType::kYoloV4, DeviceType::kA2, {1.05, 498.0, 21.7}},
+    {ModelType::kYoloV4, DeviceType::kGtx1080, {1.38, 540.0, 10.8}},
+    {ModelType::kSciCpu, DeviceType::kXeonCpu, {2.1, 512.0, 48.0}},
+};
+
+}  // namespace
+
+ProfileResult profile_of(ModelType model, DeviceType device) noexcept {
+  for (const ProfileRow& row : kProfiles) {
+    if (row.model == model && row.device == device) return {true, row.profile};
+  }
+  return {};
+}
+
+WorkloadProfile require_profile(ModelType model, DeviceType device) {
+  const ProfileResult result = profile_of(model, device);
+  if (!result.supported) {
+    throw std::invalid_argument(std::string(to_string(model)) + " is not supported on " +
+                                std::string(to_string(device)));
+  }
+  return result.profile;
+}
+
+std::string_view to_string(ModelType model) noexcept {
+  switch (model) {
+    case ModelType::kEfficientNetB0: return "EfficientNetB0";
+    case ModelType::kResNet50: return "ResNet50";
+    case ModelType::kYoloV4: return "YOLOv4";
+    case ModelType::kSciCpu: return "Sci";
+    case ModelType::kCount_: break;
+  }
+  return "?";
+}
+
+double compute_demand_per_rps(ModelType model, DeviceType device) {
+  const WorkloadProfile profile = require_profile(model, device);
+  // Busy-fraction of the device per request/second: service time per
+  // request spread over the device's independent execution streams (cores
+  // for the Xeon, SM partitions for the GPUs). The per-device inference_ms
+  // table already embeds single-stream speed differences.
+  return profile.inference_ms / 1000.0 / device_profile(device).concurrency;
+}
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,60 @@
+// Application models and their per-device profiles (paper Figure 7).
+//
+// Substitutes for the paper's profiling service (Section 5.1): per
+// (model, device) we tabulate energy per inference, device memory, and
+// inference latency, transcribed from Figure 7's reported magnitudes —
+// energy spans ~45x across models on one device and ~2x across devices for
+// one model; inference times reach ~40 ms; YOLOv4 uses ~500 MB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/device.hpp"
+
+namespace carbonedge::sim {
+
+enum class ModelType : std::uint8_t {
+  kEfficientNetB0 = 0,
+  kResNet50,
+  kYoloV4,
+  kSciCpu,  // the CPU-based sensor-processing application ("Sci" in Fig. 10)
+  kCount_,
+};
+
+inline constexpr std::size_t kModelCount = static_cast<std::size_t>(ModelType::kCount_);
+
+inline constexpr std::array<ModelType, kModelCount> kAllModels = {
+    ModelType::kEfficientNetB0, ModelType::kResNet50, ModelType::kYoloV4, ModelType::kSciCpu};
+
+/// The three GPU inference models used by the heterogeneity experiments.
+inline constexpr std::array<ModelType, 3> kGpuModels = {
+    ModelType::kEfficientNetB0, ModelType::kResNet50, ModelType::kYoloV4};
+
+struct WorkloadProfile {
+  double energy_j = 0.0;      // dynamic energy per inference, joules
+  double memory_mb = 0.0;     // resident device memory
+  double inference_ms = 0.0;  // single-request service time
+};
+
+/// Profile of `model` on `device`. Models that cannot run on a device
+/// (GPU models on the CPU and vice versa) return `supported == false`.
+struct ProfileResult {
+  bool supported = false;
+  WorkloadProfile profile;
+};
+
+[[nodiscard]] ProfileResult profile_of(ModelType model, DeviceType device) noexcept;
+
+/// Profile that throws std::invalid_argument when unsupported.
+[[nodiscard]] WorkloadProfile require_profile(ModelType model, DeviceType device);
+
+[[nodiscard]] std::string_view to_string(ModelType model) noexcept;
+
+/// Fraction of a device's compute a model consumes per request/second of
+/// sustained load: inference_ms/1000 normalized by the device's relative
+/// compute units. Determines how many concurrent streams a device hosts.
+[[nodiscard]] double compute_demand_per_rps(ModelType model, DeviceType device);
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,83 @@
+// Edge data centers: a city-anchored group of servers inside one carbon
+// zone, plus cluster builders for the paper's deployment scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "sim/server.hpp"
+
+namespace carbonedge::sim {
+
+class EdgeDataCenter {
+ public:
+  EdgeDataCenter(std::uint32_t id, geo::City city);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const geo::City& city() const noexcept { return city_; }
+  /// Carbon zone name (== city name; one zone per site in our catalog).
+  [[nodiscard]] const std::string& zone() const noexcept { return city_.name; }
+
+  EdgeServer& add_server(ServerConfig config);
+  [[nodiscard]] std::vector<EdgeServer>& servers() noexcept { return servers_; }
+  [[nodiscard]] const std::vector<EdgeServer>& servers() const noexcept { return servers_; }
+
+  [[nodiscard]] std::size_t app_count() const noexcept;
+  [[nodiscard]] double power_draw_w() const noexcept;
+  [[nodiscard]] double dynamic_power_w() const noexcept;
+
+ private:
+  std::uint32_t id_;
+  geo::City city_;
+  std::vector<EdgeServer> servers_;
+  std::uint32_t next_server_id_ = 0;
+};
+
+/// An edge cluster: the data centers of one region, indexable by site.
+class EdgeCluster {
+ public:
+  explicit EdgeCluster(const geo::Region& region);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::vector<EdgeDataCenter>& sites() noexcept { return sites_; }
+  [[nodiscard]] const std::vector<EdgeDataCenter>& sites() const noexcept { return sites_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
+
+  /// All cities in site order (for latency matrices).
+  [[nodiscard]] std::vector<geo::City> cities() const;
+
+  /// Flat list of (site index, server pointer) across all sites, the server
+  /// ordering used by placement problems.
+  struct ServerRef {
+    std::size_t site = 0;
+    EdgeServer* server = nullptr;
+  };
+  [[nodiscard]] std::vector<ServerRef> all_servers();
+
+ private:
+  std::string name_;
+  std::vector<EdgeDataCenter> sites_;
+};
+
+/// Cluster builders for the paper's scenarios.
+///
+/// `servers_per_site` homogeneous servers of `device` at every site
+/// (Section 6.2's testbed: one server per site; Section 6.3's CDN:
+/// capacity optionally proportional to population).
+[[nodiscard]] EdgeCluster make_uniform_cluster(const geo::Region& region,
+                                               std::size_t servers_per_site, DeviceType device);
+
+/// Capacity proportional to metro population: every site gets at least one
+/// server, larger metros more (Section 6.3.4's "Capacity" scenario).
+[[nodiscard]] EdgeCluster make_population_cluster(const geo::Region& region,
+                                                  std::size_t total_servers, DeviceType device);
+
+/// Heterogeneous cluster: sites cycle deterministically through the given
+/// device list (Section 6.3.5's "Hetero" scenario).
+[[nodiscard]] EdgeCluster make_hetero_cluster(const geo::Region& region,
+                                              std::size_t servers_per_site,
+                                              const std::vector<DeviceType>& devices);
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,24 @@
+#include "sim/device.hpp"
+
+namespace carbonedge::sim {
+namespace {
+
+constexpr std::array<DeviceProfile, kDeviceCount> kProfiles = {{
+    // name       idle W  max W  memory MB  compute  concurrency
+    {"Orin Nano", 5.0, 15.0, 8192.0, 0.45, 1.0},
+    {"A2", 8.0, 60.0, 16384.0, 1.0, 2.0},
+    {"GTX 1080", 10.0, 180.0, 8192.0, 1.8, 4.0},
+    {"Xeon CPU", 95.0, 250.0, 262144.0, 0.6, 16.0},
+}};
+
+}  // namespace
+
+const DeviceProfile& device_profile(DeviceType device) noexcept {
+  return kProfiles[static_cast<std::size_t>(device)];
+}
+
+std::string_view to_string(DeviceType device) noexcept {
+  return device_profile(device).name;
+}
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,41 @@
+// Edge accelerator/server device profiles.
+//
+// The paper profiles its workloads on NVIDIA Jetson Orin Nano, NVIDIA A2,
+// and NVIDIA GTX 1080 GPUs (Section 6.1.2), plus a 40-core Xeon E5-2660v3
+// server (the testbed's Dell PowerEdge R630) for the CPU-based "Sci"
+// application. Power figures are the devices' published idle/max draws; the
+// heterogeneity experiments (Figure 15) depend on their relative ordering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace carbonedge::sim {
+
+enum class DeviceType : std::uint8_t {
+  kOrinNano = 0,
+  kA2,
+  kGtx1080,
+  kXeonCpu,
+  kCount_,
+};
+
+inline constexpr std::size_t kDeviceCount = static_cast<std::size_t>(DeviceType::kCount_);
+
+inline constexpr std::array<DeviceType, kDeviceCount> kAllDevices = {
+    DeviceType::kOrinNano, DeviceType::kA2, DeviceType::kGtx1080, DeviceType::kXeonCpu};
+
+struct DeviceProfile {
+  std::string_view name;
+  double idle_power_w;    // draw when powered on but idle (part of base power)
+  double max_power_w;     // board/TDP limit
+  double memory_mb;       // device memory available to applications
+  double compute_units;   // relative throughput capacity (A2 == 1.0)
+  double concurrency;     // independent execution streams (cores / SM groups)
+};
+
+[[nodiscard]] const DeviceProfile& device_profile(DeviceType device) noexcept;
+[[nodiscard]] std::string_view to_string(DeviceType device) noexcept;
+
+}  // namespace carbonedge::sim

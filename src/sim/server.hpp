@@ -1,0 +1,102 @@
+// Edge servers: capacity accounting and the power model.
+//
+// A server hosts application instances subject to two resource dimensions
+// (Eq. 1's multi-dimensional capacities): device memory (MB) and compute
+// busy-fraction. Power follows the standard base + proportional model the
+// paper uses (base power B_j emitted while powered on; dynamic energy from
+// per-inference profiles, measured via RAPL/DCGM in the prototype).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/app_model.hpp"
+
+namespace carbonedge::sim {
+
+using AppId = std::uint64_t;
+inline constexpr AppId kNoApp = static_cast<AppId>(-1);
+
+/// A placed application instance: a model served at a sustained rate.
+struct AppInstance {
+  AppId id = kNoApp;
+  ModelType model = ModelType::kEfficientNetB0;
+  double rps = 0.0;  // sustained request rate
+};
+
+struct ServerConfig {
+  std::string name;
+  DeviceType device = DeviceType::kA2;
+  /// Base (idle) power B_j drawn whenever powered on; defaults to the
+  /// device idle power plus host overhead.
+  double base_power_w = 0.0;
+  /// Cap on compute busy-fraction to preserve tail latency.
+  double max_utilization = 0.85;
+  bool initially_on = true;
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(std::uint32_t id, ServerConfig config);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] DeviceType device() const noexcept { return config_.device; }
+
+  [[nodiscard]] bool powered_on() const noexcept { return powered_on_; }
+  void set_powered_on(bool on);
+
+  /// Failure state (crash injection): a failed server hosts nothing, draws
+  /// no power, and cannot be activated until repaired. Failing a server
+  /// evicts nothing — the simulation engine is responsible for redeploying
+  /// its applications (Figure 6 step 1: "applications to be redeployed when
+  /// an edge server fails").
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  void set_failed(bool failed);
+
+  /// True if the model runs on this device and the remaining memory and
+  /// compute headroom admit `rps` of sustained load.
+  [[nodiscard]] bool can_host(ModelType model, double rps) const noexcept;
+
+  /// Place an instance; throws std::runtime_error if it does not fit or the
+  /// server is powered off.
+  void host(const AppInstance& app);
+
+  /// Remove an instance by id; returns false if not present.
+  bool evict(AppId id) noexcept;
+
+  [[nodiscard]] const std::vector<AppInstance>& apps() const noexcept { return apps_; }
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+
+  // Remaining capacities (resource dimensions for the optimizer).
+  [[nodiscard]] double memory_capacity_mb() const noexcept;
+  [[nodiscard]] double memory_used_mb() const noexcept { return memory_used_mb_; }
+  [[nodiscard]] double memory_free_mb() const noexcept;
+  [[nodiscard]] double compute_capacity() const noexcept { return config_.max_utilization; }
+  [[nodiscard]] double compute_used() const noexcept { return compute_used_; }
+  [[nodiscard]] double compute_free() const noexcept;
+
+  /// Instantaneous draw: base power while on plus dynamic per-inference
+  /// energy at the hosted request rates (J/s == W).
+  [[nodiscard]] double power_draw_w() const noexcept;
+  /// Dynamic-only draw (no base power).
+  [[nodiscard]] double dynamic_power_w() const noexcept;
+  /// Energy over an interval, watt-hours.
+  [[nodiscard]] double energy_wh(double hours) const noexcept { return power_draw_w() * hours; }
+
+  /// M/M/1-style mean service latency for a model at the current load:
+  /// service_time / (1 - utilization). Used by the response-time model.
+  [[nodiscard]] double mean_service_ms(ModelType model) const;
+
+ private:
+  std::uint32_t id_;
+  ServerConfig config_;
+  bool powered_on_;
+  bool failed_ = false;
+  std::vector<AppInstance> apps_;
+  double memory_used_mb_ = 0.0;
+  double compute_used_ = 0.0;
+};
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,90 @@
+// Edge workload generation.
+//
+// Applications (offloaded IoT/mobile services, Figure 6 step 1) arrive at
+// edge sites over time, each with a model type, sustained request rate,
+// origin site, round-trip latency SLO, and a lifetime after which it
+// departs. Arrival volume per site is either uniform or population-
+// proportional (Section 6.3.4's "Demand" scenario).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/app_model.hpp"
+#include "sim/datacenter.hpp"
+#include "util/random.hpp"
+
+namespace carbonedge::sim {
+
+/// An application awaiting (or holding) placement.
+struct Application {
+  AppId id = kNoApp;
+  ModelType model = ModelType::kEfficientNetB0;
+  std::size_t origin_site = 0;     // site index within the cluster
+  double rps = 0.0;                // sustained request rate
+  double latency_limit_rtt_ms = 20.0;  // SLO on network round-trip (Eq. 2)
+  std::uint32_t remaining_epochs = 1;  // departs when this reaches zero
+  /// Container image + model weights + working state that must move when
+  /// the application migrates between sites (the data-movement cost the
+  /// paper defers to future work; see core/simulation.hpp).
+  double state_size_mb = 400.0;
+  /// Temporal flexibility: the application may wait up to this many epochs
+  /// before starting (0 = interactive, must start immediately). Used by the
+  /// temporal-shifting baseline (paper Section 2.2); latency-critical edge
+  /// workloads normally have none.
+  std::uint32_t max_defer_epochs = 0;
+};
+
+enum class DemandDistribution : std::uint8_t {
+  kUniform,     // every site sources the same expected load
+  kPopulation,  // load proportional to metro population
+};
+
+struct WorkloadParams {
+  /// Expected new applications per site per epoch (scaled by the demand
+  /// distribution weights; the total over sites is preserved).
+  double arrivals_per_site = 2.0;
+  DemandDistribution demand = DemandDistribution::kUniform;
+  /// Model mix weights, indexed by ModelType (zero = never generated).
+  std::array<double, kModelCount> model_weights = {1.0, 1.0, 1.0, 0.0};
+  double min_rps = 2.0;
+  double max_rps = 10.0;
+  /// Transferable application state (uniform range, MB).
+  double min_state_mb = 200.0;
+  double max_state_mb = 900.0;
+  /// Temporal flexibility granted to every generated application.
+  std::uint32_t max_defer_epochs = 0;
+  double latency_limit_rtt_ms = 20.0;  // default SLO (~500 km, Section 6.1.1)
+  double mean_lifetime_epochs = 12.0;  // geometric lifetime
+  /// Testbed mode (Sections 6.2/6.5): this many long-lived applications per
+  /// site are injected at epoch 0 (in addition to Poisson arrivals).
+  std::uint32_t initial_per_site = 0;
+  /// Lifetime of the epoch-0 initial applications (effectively "the whole
+  /// experiment" by default).
+  std::uint32_t initial_lifetime_epochs = 0x7FFFFFFF;
+  std::uint64_t seed = 0xED6E10ADULL;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadParams params, const EdgeCluster& cluster);
+
+  /// Applications arriving in one epoch (Poisson per site).
+  [[nodiscard]] std::vector<Application> arrivals(std::uint32_t epoch);
+
+  /// A fixed-size batch, origins drawn from the demand distribution
+  /// (used by scalability and overhead benches).
+  [[nodiscard]] std::vector<Application> batch(std::size_t count);
+
+  [[nodiscard]] const WorkloadParams& params() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] Application make_app(std::size_t origin_site);
+
+  WorkloadParams params_;
+  std::vector<double> site_weights_;  // normalized arrival weights per site
+  util::Rng rng_;
+  AppId next_id_ = 0;
+};
+
+}  // namespace carbonedge::sim

@@ -1,0 +1,473 @@
+#include "solver/assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/flow.hpp"
+
+namespace carbonedge::solver {
+
+AssignmentProblem::AssignmentProblem(std::size_t num_apps, std::size_t num_servers,
+                                     std::size_t num_resources)
+    : num_apps_(num_apps),
+      num_servers_(num_servers),
+      num_resources_(num_resources == 0 ? 1 : num_resources),
+      cost_(num_apps * num_servers, kInfinity),
+      demand_(num_apps * num_servers * num_resources_, 0.0),
+      capacity_(num_servers * num_resources_, 0.0),
+      activation_cost_(num_servers, 0.0),
+      initially_on_(num_servers, 1) {}
+
+void AssignmentProblem::set_cost(std::size_t app, std::size_t server, double cost) {
+  cost_[app * num_servers_ + server] = cost;
+}
+
+void AssignmentProblem::set_demand(std::size_t app, std::size_t server, std::size_t resource,
+                                   double demand) {
+  demand_[(app * num_servers_ + server) * num_resources_ + resource] = demand;
+}
+
+void AssignmentProblem::set_capacity(std::size_t server, std::size_t resource, double capacity) {
+  capacity_[server * num_resources_ + resource] = capacity;
+}
+
+void AssignmentProblem::set_activation_cost(std::size_t server, double cost) {
+  activation_cost_[server] = cost;
+}
+
+void AssignmentProblem::set_initially_on(std::size_t server, bool on) {
+  initially_on_[server] = on ? 1 : 0;
+}
+
+bool AssignmentProblem::is_unit_slot() const noexcept {
+  if (num_resources_ != 1) return false;
+  for (std::size_t j = 0; j < num_servers_; ++j) {
+    const double cap = capacity(j, 0);
+    if (std::abs(cap - std::round(cap)) > 1e-9) return false;
+    bool has_feasible = false;
+    for (std::size_t i = 0; i < num_apps_; ++i) {
+      if (!feasible_pair(i, j)) continue;
+      has_feasible = true;
+      if (std::abs(demand(i, j, 0) - 1.0) > 1e-9) return false;
+    }
+    if (has_feasible && !initially_on(j) && activation_cost(j) != 0.0) return false;
+  }
+  return true;
+}
+
+AssignmentSolution evaluate(const AssignmentProblem& problem,
+                            const std::vector<std::size_t>& assignment) {
+  AssignmentSolution solution;
+  solution.assignment = assignment;
+  solution.assignment.resize(problem.num_apps(), kUnassigned);
+  solution.powered_on.assign(problem.num_servers(), 0);
+  for (std::size_t j = 0; j < problem.num_servers(); ++j) {
+    solution.powered_on[j] = problem.initially_on(j) ? 1 : 0;
+  }
+  double total = 0.0;
+  solution.unassigned_count = 0;
+  for (std::size_t i = 0; i < problem.num_apps(); ++i) {
+    const std::size_t j = solution.assignment[i];
+    if (j == kUnassigned) {
+      ++solution.unassigned_count;
+      continue;
+    }
+    total += problem.cost(i, j);
+    if (!solution.powered_on[j]) {
+      solution.powered_on[j] = 1;
+      total += problem.activation_cost(j);
+    }
+  }
+  solution.total_cost = total;
+  solution.feasible = solution.unassigned_count == 0 && validate(problem, solution);
+  return solution;
+}
+
+bool validate(const AssignmentProblem& problem, const AssignmentSolution& solution, double tol) {
+  if (solution.assignment.size() != problem.num_apps()) return false;
+  std::vector<double> load(problem.num_servers() * problem.num_resources(), 0.0);
+  for (std::size_t i = 0; i < problem.num_apps(); ++i) {
+    const std::size_t j = solution.assignment[i];
+    if (j == kUnassigned) continue;
+    if (j >= problem.num_servers()) return false;
+    if (!problem.feasible_pair(i, j)) return false;  // Eq. 2 (latency) encoded as inf cost
+    if (!solution.powered_on.empty() && !solution.powered_on[j]) return false;  // Eq. 5
+    for (std::size_t k = 0; k < problem.num_resources(); ++k) {
+      load[j * problem.num_resources() + k] += problem.demand(i, j, k);
+    }
+  }
+  for (std::size_t j = 0; j < problem.num_servers(); ++j) {
+    // Eq. 4: initially-on servers stay on.
+    if (!solution.powered_on.empty() && problem.initially_on(j) && !solution.powered_on[j]) {
+      return false;
+    }
+    for (std::size_t k = 0; k < problem.num_resources(); ++k) {
+      if (load[j * problem.num_resources() + k] > problem.capacity(j, k) + tol) {
+        return false;  // Eq. 1
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exact MILP path
+// ---------------------------------------------------------------------------
+
+AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptions& options) {
+  const std::size_t apps = problem.num_apps();
+  const std::size_t servers = problem.num_servers();
+
+  LinearProgram lp;
+  std::vector<int> integer_vars;
+  // Variable maps: x_var[i][j] >= 0 only for feasible pairs; y_var[j] only
+  // for initially-off servers with at least one feasible pair.
+  std::vector<std::vector<int>> x_var(apps, std::vector<int>(servers, -1));
+  std::vector<int> y_var(servers, -1);
+
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (!problem.feasible_pair(i, j)) continue;
+      x_var[i][j] = lp.add_variable(problem.cost(i, j), 0.0, 1.0);
+      integer_vars.push_back(x_var[i][j]);
+    }
+  }
+  for (std::size_t j = 0; j < servers; ++j) {
+    if (problem.initially_on(j)) continue;
+    bool any = false;
+    for (std::size_t i = 0; i < apps && !any; ++i) any = x_var[i][j] >= 0;
+    if (!any) continue;
+    y_var[j] = lp.add_variable(problem.activation_cost(j), 0.0, 1.0);
+    integer_vars.push_back(y_var[j]);
+  }
+
+  // Eq. 3: each app placed exactly once.
+  for (std::size_t i = 0; i < apps; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (x_var[i][j] >= 0) terms.emplace_back(x_var[i][j], 1.0);
+    }
+    if (terms.empty()) {
+      AssignmentSolution infeasible;
+      infeasible.assignment.assign(apps, kUnassigned);
+      infeasible.unassigned_count = apps;
+      return infeasible;  // some app has no feasible server at all
+    }
+    lp.add_constraint(std::move(terms), Sense::kEqual, 1.0);
+  }
+  // Eq. 1: capacity per server/resource, gated by y for off servers.
+  for (std::size_t j = 0; j < servers; ++j) {
+    for (std::size_t k = 0; k < problem.num_resources(); ++k) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t i = 0; i < apps; ++i) {
+        if (x_var[i][j] >= 0) terms.emplace_back(x_var[i][j], problem.demand(i, j, k));
+      }
+      if (terms.empty()) continue;
+      if (y_var[j] >= 0) {
+        terms.emplace_back(y_var[j], -problem.capacity(j, k));
+        lp.add_constraint(std::move(terms), Sense::kLessEqual, 0.0);
+      } else {
+        lp.add_constraint(std::move(terms), Sense::kLessEqual, problem.capacity(j, k));
+      }
+    }
+    // Eq. 5 linking (aggregated form): sum_i x_ij <= apps * y_j. The
+    // capacity rows already gate load by y; this covers zero-demand apps.
+    if (y_var[j] >= 0) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t i = 0; i < apps; ++i) {
+        if (x_var[i][j] >= 0) terms.emplace_back(x_var[i][j], 1.0);
+      }
+      terms.emplace_back(y_var[j], -static_cast<double>(apps));
+      lp.add_constraint(std::move(terms), Sense::kLessEqual, 0.0);
+    }
+  }
+
+  // Warm start from the greedy heuristic to seed the incumbent.
+  std::optional<std::vector<double>> warm;
+  AssignmentSolution greedy = solve_greedy(problem);
+  if (greedy.feasible) {
+    improve_local_search(problem, greedy);
+    std::vector<double> values(lp.num_variables(), 0.0);
+    for (std::size_t i = 0; i < apps; ++i) {
+      const std::size_t j = greedy.assignment[i];
+      if (j != kUnassigned && x_var[i][j] >= 0) values[static_cast<std::size_t>(x_var[i][j])] = 1.0;
+    }
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (y_var[j] >= 0 && greedy.powered_on[j]) values[static_cast<std::size_t>(y_var[j])] = 1.0;
+    }
+    if (lp.is_feasible(values)) warm = std::move(values);
+  }
+
+  const MilpSolution milp = solve_milp(lp, integer_vars, options, warm);
+  if (milp.status != MilpStatus::kOptimal && milp.status != MilpStatus::kFeasible) {
+    AssignmentSolution infeasible;
+    infeasible.assignment.assign(apps, kUnassigned);
+    infeasible.unassigned_count = apps;
+    return infeasible;
+  }
+
+  std::vector<std::size_t> assignment(apps, kUnassigned);
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (x_var[i][j] >= 0 && milp.values[static_cast<std::size_t>(x_var[i][j])] > 0.5) {
+        assignment[i] = j;
+        break;
+      }
+    }
+  }
+  return evaluate(problem, assignment);
+}
+
+// ---------------------------------------------------------------------------
+// Min-cost-flow path (unit-slot instances)
+// ---------------------------------------------------------------------------
+
+AssignmentSolution solve_flow(const AssignmentProblem& problem) {
+  const std::size_t apps = problem.num_apps();
+  const std::size_t servers = problem.num_servers();
+  // Node layout: 0 = source, 1..apps = apps, apps+1..apps+servers = servers,
+  // apps+servers+1 = sink.
+  const std::size_t source = 0;
+  const std::size_t sink = apps + servers + 1;
+  MinCostFlow network(sink + 1);
+
+  for (std::size_t i = 0; i < apps; ++i) {
+    network.add_arc(source, 1 + i, 1, 0.0);
+  }
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> pair_arcs(apps);
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (!problem.feasible_pair(i, j)) continue;
+      const std::size_t arc = network.add_arc(1 + i, 1 + apps + j, 1, problem.cost(i, j));
+      pair_arcs[i].emplace_back(j, arc);
+    }
+  }
+  for (std::size_t j = 0; j < servers; ++j) {
+    const auto slots = static_cast<std::int64_t>(std::llround(problem.capacity(j, 0)));
+    if (slots > 0) network.add_arc(1 + apps + j, sink, slots, 0.0);
+  }
+
+  network.solve(source, sink, static_cast<std::int64_t>(apps));
+
+  std::vector<std::size_t> assignment(apps, kUnassigned);
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (const auto& [j, arc] : pair_arcs[i]) {
+      if (network.flow_on(arc) > 0) {
+        assignment[i] = j;
+        break;
+      }
+    }
+  }
+  return evaluate(problem, assignment);
+}
+
+// ---------------------------------------------------------------------------
+// Regret greedy + local search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GreedyState {
+  std::vector<double> remaining;       // server x resource
+  std::vector<std::uint8_t> planned_on;
+  std::vector<std::size_t> load_count;  // apps per server
+
+  explicit GreedyState(const AssignmentProblem& p)
+      : remaining(p.num_servers() * p.num_resources()),
+        planned_on(p.num_servers()),
+        load_count(p.num_servers(), 0) {
+    for (std::size_t j = 0; j < p.num_servers(); ++j) {
+      planned_on[j] = p.initially_on(j) ? 1 : 0;
+      for (std::size_t k = 0; k < p.num_resources(); ++k) {
+        remaining[j * p.num_resources() + k] = p.capacity(j, k);
+      }
+    }
+  }
+
+  [[nodiscard]] bool fits(const AssignmentProblem& p, std::size_t i, std::size_t j) const {
+    for (std::size_t k = 0; k < p.num_resources(); ++k) {
+      if (p.demand(i, j, k) > remaining[j * p.num_resources() + k] + 1e-9) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double effective_cost(const AssignmentProblem& p, std::size_t i,
+                                      std::size_t j) const {
+    double c = p.cost(i, j);
+    if (!planned_on[j]) c += p.activation_cost(j);
+    return c;
+  }
+
+  void commit(const AssignmentProblem& p, std::size_t i, std::size_t j) {
+    for (std::size_t k = 0; k < p.num_resources(); ++k) {
+      remaining[j * p.num_resources() + k] -= p.demand(i, j, k);
+    }
+    planned_on[j] = 1;
+    ++load_count[j];
+  }
+};
+
+}  // namespace
+
+AssignmentSolution solve_greedy(const AssignmentProblem& problem) {
+  const std::size_t apps = problem.num_apps();
+  const std::size_t servers = problem.num_servers();
+  GreedyState state(problem);
+  std::vector<std::size_t> assignment(apps, kUnassigned);
+  std::vector<std::uint8_t> placed(apps, 0);
+
+  for (std::size_t round = 0; round < apps; ++round) {
+    // Pick the unplaced app with the largest regret (gap between its best
+    // and second-best feasible option); ties favor the costlier best option.
+    std::size_t pick = kUnassigned;
+    std::size_t pick_server = kUnassigned;
+    double pick_regret = -1.0;
+    double pick_best_cost = -kInfinity;
+    for (std::size_t i = 0; i < apps; ++i) {
+      if (placed[i]) continue;
+      double best = kInfinity;
+      double second = kInfinity;
+      std::size_t best_server = kUnassigned;
+      for (std::size_t j = 0; j < servers; ++j) {
+        if (!problem.feasible_pair(i, j) || !state.fits(problem, i, j)) continue;
+        const double c = state.effective_cost(problem, i, j);
+        if (c < best) {
+          second = best;
+          best = c;
+          best_server = j;
+        } else if (c < second) {
+          second = c;
+        }
+      }
+      if (best_server == kUnassigned) {
+        // This app can no longer be placed; greedy fails over to a partial
+        // answer which evaluate() marks infeasible.
+        continue;
+      }
+      const double regret = (second == kInfinity) ? kInfinity : second - best;
+      if (regret > pick_regret ||
+          (regret == pick_regret && best > pick_best_cost)) {
+        pick_regret = regret;
+        pick_best_cost = best;
+        pick = i;
+        pick_server = best_server;
+      }
+    }
+    if (pick == kUnassigned) break;  // nothing placeable remains
+    assignment[pick] = pick_server;
+    placed[pick] = 1;
+    state.commit(problem, pick, pick_server);
+  }
+  return evaluate(problem, assignment);
+}
+
+std::size_t improve_local_search(const AssignmentProblem& problem, AssignmentSolution& solution,
+                                 std::size_t max_rounds) {
+  const std::size_t apps = problem.num_apps();
+  const std::size_t servers = problem.num_servers();
+  const std::size_t resources = problem.num_resources();
+
+  std::vector<double> load(servers * resources, 0.0);
+  std::vector<std::size_t> count(servers, 0);
+  for (std::size_t i = 0; i < apps; ++i) {
+    const std::size_t j = solution.assignment[i];
+    if (j == kUnassigned) continue;
+    for (std::size_t k = 0; k < resources; ++k) load[j * resources + k] += problem.demand(i, j, k);
+    ++count[j];
+  }
+
+  const auto activation_delta_gain = [&](std::size_t j) {
+    // Cost of powering on j if it is off and currently unused.
+    return (!problem.initially_on(j) && count[j] == 0) ? problem.activation_cost(j) : 0.0;
+  };
+  const auto activation_delta_release = [&](std::size_t j) {
+    // Saving from vacating the last app of an initially-off server.
+    return (!problem.initially_on(j) && count[j] == 1) ? problem.activation_cost(j) : 0.0;
+  };
+  const auto fits_after = [&](std::size_t i, std::size_t to, std::size_t ignore_app) {
+    for (std::size_t k = 0; k < resources; ++k) {
+      double used = load[to * resources + k];
+      if (ignore_app != kUnassigned && solution.assignment[ignore_app] == to) {
+        used -= problem.demand(ignore_app, to, k);
+      }
+      if (used + problem.demand(i, to, k) > problem.capacity(to, k) + 1e-9) return false;
+    }
+    return true;
+  };
+
+  std::size_t improvements = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+
+    // Relocate moves. `from` is refreshed after every applied move: the app
+    // now lives on its new server and further candidate targets must be
+    // evaluated against that.
+    for (std::size_t i = 0; i < apps; ++i) {
+      std::size_t from = solution.assignment[i];
+      if (from == kUnassigned) continue;
+      for (std::size_t to = 0; to < servers; ++to) {
+        if (to == from || !problem.feasible_pair(i, to)) continue;
+        if (!fits_after(i, to, kUnassigned)) continue;
+        const double delta = problem.cost(i, to) - problem.cost(i, from) +
+                             activation_delta_gain(to) - activation_delta_release(from);
+        if (delta < -1e-9) {
+          for (std::size_t k = 0; k < resources; ++k) {
+            load[from * resources + k] -= problem.demand(i, from, k);
+            load[to * resources + k] += problem.demand(i, to, k);
+          }
+          --count[from];
+          ++count[to];
+          solution.assignment[i] = to;
+          from = to;
+          improved = true;
+          ++improvements;
+        }
+      }
+    }
+
+    // Pairwise swaps. `sa` is refreshed after every applied swap — app a
+    // moved, so later candidates must see its new server.
+    for (std::size_t a = 0; a < apps; ++a) {
+      std::size_t sa = solution.assignment[a];
+      if (sa == kUnassigned) continue;
+      for (std::size_t b = a + 1; b < apps; ++b) {
+        const std::size_t sb = solution.assignment[b];
+        if (sb == kUnassigned || sb == sa) continue;
+        if (!problem.feasible_pair(a, sb) || !problem.feasible_pair(b, sa)) continue;
+        if (!fits_after(a, sb, b) || !fits_after(b, sa, a)) continue;
+        const double delta = problem.cost(a, sb) + problem.cost(b, sa) -
+                             problem.cost(a, sa) - problem.cost(b, sb);
+        if (delta < -1e-9) {
+          for (std::size_t k = 0; k < resources; ++k) {
+            load[sa * resources + k] += problem.demand(b, sa, k) - problem.demand(a, sa, k);
+            load[sb * resources + k] += problem.demand(a, sb, k) - problem.demand(b, sb, k);
+          }
+          solution.assignment[a] = sb;
+          solution.assignment[b] = sa;
+          sa = sb;
+          improved = true;
+          ++improvements;
+        }
+      }
+    }
+
+    if (!improved) break;
+  }
+
+  const AssignmentSolution refreshed = evaluate(problem, solution.assignment);
+  solution = refreshed;
+  return improvements;
+}
+
+AssignmentSolution solve_auto(const AssignmentProblem& problem, const AssignmentOptions& options) {
+  if (problem.is_unit_slot()) return solve_flow(problem);
+  if (problem.num_apps() * problem.num_servers() <= options.exact_size_limit) {
+    AssignmentSolution exact = solve_exact(problem, options.milp);
+    if (exact.feasible) return exact;
+  }
+  AssignmentSolution solution = solve_greedy(problem);
+  improve_local_search(problem, solution, options.local_search_rounds);
+  return solution;
+}
+
+}  // namespace carbonedge::solver

@@ -1,0 +1,134 @@
+#include "solver/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace carbonedge::solver {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_arc(std::size_t from, std::size_t to, std::int64_t capacity,
+                                 double cost) {
+  if (from >= graph_.size() || to >= graph_.size()) {
+    throw std::out_of_range("flow: arc endpoint out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("flow: negative capacity");
+  if (cost < 0.0) has_negative_costs_ = true;
+  const std::size_t fwd_index = graph_[from].size();
+  const std::size_t rev_index = graph_[to].size() + (from == to ? 1 : 0);
+  graph_[from].push_back(Edge{to, rev_index, capacity, cost, true});
+  graph_[to].push_back(Edge{from, fwd_index, 0, -cost, false});
+  arc_locator_.emplace_back(from, fwd_index);
+  return arc_locator_.size() - 1;
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t arc_index) const {
+  const auto& [node, edge] = arc_locator_.at(arc_index);
+  const Edge& fwd = graph_[node][edge];
+  // Residual of the reverse edge equals shipped flow.
+  return graph_[fwd.to][fwd.rev].capacity;
+}
+
+bool MinCostFlow::bellman_ford(std::size_t source) {
+  potential_.assign(graph_.size(), kInf);
+  potential_[source] = 0.0;
+  const std::size_t n = graph_.size();
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    bool changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (potential_[u] == kInf) continue;
+      for (const Edge& e : graph_[u]) {
+        if (e.capacity <= 0) continue;
+        const double candidate = potential_[u] + e.cost;
+        if (candidate < potential_[e.to] - kEps) {
+          potential_[e.to] = candidate;
+          changed = true;
+          if (iter + 1 == n) return false;  // negative cycle
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  for (double& p : potential_) {
+    if (p == kInf) p = 0.0;  // unreachable: neutral potential
+  }
+  return true;
+}
+
+bool MinCostFlow::dijkstra(std::size_t source, std::size_t sink,
+                           std::vector<std::size_t>& prev_node,
+                           std::vector<std::size_t>& prev_edge) {
+  const std::size_t n = graph_.size();
+  dist_.assign(n, kInf);
+  prev_node.assign(n, static_cast<std::size_t>(-1));
+  prev_edge.assign(n, static_cast<std::size_t>(-1));
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist_[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_[u] + kEps) continue;
+    for (std::size_t i = 0; i < graph_[u].size(); ++i) {
+      const Edge& e = graph_[u][i];
+      if (e.capacity <= 0) continue;
+      const double reduced = e.cost + potential_[u] - potential_[e.to];
+      const double candidate = dist_[u] + std::max(0.0, reduced);
+      if (candidate < dist_[e.to] - kEps) {
+        dist_[e.to] = candidate;
+        prev_node[e.to] = u;
+        prev_edge[e.to] = i;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return dist_[sink] < kInf;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       std::int64_t max_flow) {
+  if (source >= graph_.size() || sink >= graph_.size()) {
+    throw std::out_of_range("flow: source/sink out of range");
+  }
+  Result result;
+  if (source == sink || max_flow <= 0) return result;
+
+  if (has_negative_costs_) {
+    if (!bellman_ford(source)) {
+      throw std::runtime_error("flow: negative-cost cycle in network");
+    }
+  } else {
+    potential_.assign(graph_.size(), 0.0);
+  }
+
+  std::vector<std::size_t> prev_node;
+  std::vector<std::size_t> prev_edge;
+  while (result.flow < max_flow && dijkstra(source, sink, prev_node, prev_edge)) {
+    // Update potentials; unreachable nodes keep their old potential.
+    for (std::size_t v = 0; v < graph_.size(); ++v) {
+      if (dist_[v] < kInf) potential_[v] += dist_[v];
+    }
+    // Bottleneck along the augmenting path.
+    std::int64_t push = max_flow - result.flow;
+    for (std::size_t v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    for (std::size_t v = sink; v != source; v = prev_node[v]) {
+      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+      e.capacity -= push;
+      graph_[v][e.rev].capacity += push;
+      result.cost += e.cost * static_cast<double>(push);
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+}  // namespace carbonedge::solver

@@ -1,0 +1,57 @@
+// Min-cost max-flow (successive shortest paths with Johnson potentials).
+//
+// Exact and fast for the CDN-scale placement case: unit-slot applications
+// assigned to servers with integral slot capacities and no activation costs
+// reduce to a transportation problem (see assignment.hpp). Also reusable as
+// a general network-flow substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace carbonedge::solver {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  /// Adds a directed arc; returns its index (for flow readback).
+  std::size_t add_arc(std::size_t from, std::size_t to, std::int64_t capacity, double cost);
+
+  struct Result {
+    std::int64_t flow = 0;   // total flow shipped
+    double cost = 0.0;       // total cost of the shipped flow
+  };
+
+  /// Ship up to `max_flow` units from source to sink along successively
+  /// cheapest paths. Negative arc costs are allowed (handled by an initial
+  /// Bellman-Ford potential pass). Call once per instance.
+  Result solve(std::size_t source, std::size_t sink,
+               std::int64_t max_flow = INT64_MAX);
+
+  /// Flow currently on arc `arc_index` (as returned by add_arc).
+  [[nodiscard]] std::int64_t flow_on(std::size_t arc_index) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;        // index of the reverse edge in graph_[to]
+    std::int64_t capacity;  // residual capacity
+    double cost;
+    bool forward;
+  };
+
+  bool bellman_ford(std::size_t source);
+  bool dijkstra(std::size_t source, std::size_t sink, std::vector<std::size_t>& prev_node,
+                std::vector<std::size_t>& prev_edge);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<double> potential_;
+  std::vector<double> dist_;
+  std::vector<std::pair<std::size_t, std::size_t>> arc_locator_;  // node, edge idx
+  bool has_negative_costs_ = false;
+};
+
+}  // namespace carbonedge::solver

@@ -1,0 +1,45 @@
+// Lagrangian lower bounds for the placement problem.
+//
+// At CDN scale the exact MILP is out of reach and solve_auto falls back to
+// regret-greedy + local search. To *certify* that heuristic's quality we
+// compute a Lagrangian dual bound: relaxing the capacity constraints
+// (Eq. 1) with multipliers lambda >= 0 decomposes the problem per
+// application; subgradient ascent with a Polyak step (using the heuristic
+// solution as the upper bound) tightens the bound. Any heuristic solution
+// within a few percent of this bound is provably near-optimal.
+//
+// Server-activation costs are dropped from the relaxation; since they are
+// non-negative this only lowers the bound, keeping it valid for the full
+// objective.
+#pragma once
+
+#include "solver/assignment.hpp"
+
+namespace carbonedge::solver {
+
+struct LagrangianOptions {
+  std::size_t max_iterations = 200;
+  /// Initial Polyak step scale theta (halved after `patience` non-improving
+  /// iterations).
+  double theta = 1.0;
+  std::size_t patience = 10;
+  /// Optional known upper bound (e.g. greedy + local search cost). When
+  /// absent, a crude bound from feasible-pair maxima is used.
+  double upper_bound = kInfinity;
+};
+
+struct LagrangianResult {
+  /// Valid lower bound on the optimal total cost; -infinity only if some
+  /// application has no feasible server (the instance is infeasible, which
+  /// is reported via `feasible_instance`).
+  double lower_bound = 0.0;
+  bool feasible_instance = true;
+  std::size_t iterations = 0;
+  /// Bound at lambda = 0 (capacity ignored): the trivial per-app minimum.
+  double root_bound = 0.0;
+};
+
+[[nodiscard]] LagrangianResult lagrangian_lower_bound(const AssignmentProblem& problem,
+                                                      const LagrangianOptions& options = {});
+
+}  // namespace carbonedge::solver

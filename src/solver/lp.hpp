@@ -1,0 +1,80 @@
+// Linear programming: model container and a dense two-phase primal simplex.
+//
+// Substitutes for Google OR-Tools (unavailable offline). Sized for the
+// paper's placement instances: the testbed-scale MILPs relaxed here have a
+// few hundred rows/columns; CDN-scale instances take the flow/heuristic
+// paths instead (see assignment.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace carbonedge::solver {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense : std::uint8_t { kLessEqual, kGreaterEqual, kEqual };
+
+/// A linear program: minimize c.x subject to row constraints and variable
+/// bounds lb <= x <= ub (lb defaults to 0).
+class LinearProgram {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double objective, double lower = 0.0, double upper = kInfinity);
+
+  /// Adds a constraint sum(coeff_k * x_{var_k}) sense rhs.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Sense sense, double rhs);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept { return objective_.size(); }
+  [[nodiscard]] std::size_t num_constraints() const noexcept { return rows_.size(); }
+
+  [[nodiscard]] double objective_coeff(int var) const { return objective_.at(var); }
+  [[nodiscard]] double lower_bound(int var) const { return lower_.at(var); }
+  [[nodiscard]] double upper_bound(int var) const { return upper_.at(var); }
+  void set_bounds(int var, double lower, double upper);
+  void set_objective_coeff(int var, double coeff);
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Sense sense = Sense::kLessEqual;
+    double rhs = 0.0;
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// Objective value of a candidate point.
+  [[nodiscard]] double evaluate(const std::vector<double>& x) const;
+
+  /// True if x satisfies all constraints and bounds within `tol`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<Row> rows_;
+};
+
+enum class LpStatus : std::uint8_t { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] const char* to_string(LpStatus status) noexcept;
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;  // one per variable, empty unless kOptimal
+};
+
+struct LpOptions {
+  std::size_t max_iterations = 50'000;
+  double pivot_tolerance = 1e-9;
+  double feasibility_tolerance = 1e-7;
+};
+
+/// Solve with the dense two-phase primal simplex (Dantzig pricing with a
+/// Bland fallback for anti-cycling). Finite variable bounds are handled by
+/// shifting lower bounds to zero and emitting upper-bound rows.
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp, const LpOptions& options = {});
+
+}  // namespace carbonedge::solver

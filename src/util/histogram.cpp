@@ -1,0 +1,74 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carbonedge::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      bins_(bins == 0 ? 1 : bins, 0.0) {
+  if (hi <= lo) throw std::invalid_argument("histogram: hi must exceed lo");
+}
+
+void Histogram::add(double value, double weight) noexcept {
+  if (weight <= 0.0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  total_weight_ += weight;
+  weighted_sum_ += value * weight;
+  const double offset = (value - lo_) / width_;
+  std::size_t index = 0;
+  if (offset > 0.0) {
+    index = std::min(bins_.size() - 1, static_cast<std::size_t>(offset));
+  }
+  bins_[index] += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() != bins_.size() || other.lo_ != lo_ || other.hi_ != hi_) {
+    throw std::invalid_argument("histogram: merge requires identical binning");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_weight_ += other.total_weight_;
+  weighted_sum_ += other.weighted_sum_;
+  count_ += other.count_;
+}
+
+double Histogram::mean() const noexcept {
+  return total_weight_ > 0.0 ? weighted_sum_ / total_weight_ : 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double target = q * total_weight_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (cumulative + bins_[i] >= target) {
+      const double within = bins_[i] > 0.0 ? (target - cumulative) / bins_[i] : 0.0;
+      const double value = lo_ + (static_cast<double>(i) + within) * width_;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += bins_[i];
+  }
+  return max_;
+}
+
+}  // namespace carbonedge::util

@@ -1,0 +1,71 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace carbonedge::util {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // -log(1-U)/rate; 1-U avoids log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t count) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) total += weights[i] > 0.0 ? weights[i] : 0.0;
+  if (total <= 0.0) return count;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return count - 1;  // numeric slack: land on the last positive bucket
+}
+
+}  // namespace carbonedge::util

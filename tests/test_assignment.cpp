@@ -1,0 +1,254 @@
+#include "solver/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace carbonedge::solver {
+namespace {
+
+// Tiny helper: fully feasible 2-resource problem with unit demands.
+AssignmentProblem simple_problem(std::size_t apps, std::size_t servers) {
+  AssignmentProblem p(apps, servers, 1);
+  for (std::size_t j = 0; j < servers; ++j) p.set_capacity(j, 0, static_cast<double>(apps));
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      p.set_cost(i, j, static_cast<double>(i + j));
+      p.set_demand(i, j, 0, 1.0);
+    }
+  }
+  return p;
+}
+
+TEST(AssignmentProblem, DefaultsAreInfeasibleCosts) {
+  const AssignmentProblem p(2, 2, 1);
+  EXPECT_FALSE(p.feasible_pair(0, 0));
+  EXPECT_TRUE(p.initially_on(0));
+}
+
+TEST(Evaluate, ComputesCostAndPowerStates) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_initially_on(1, false);
+  p.set_activation_cost(1, 10.0);
+  const AssignmentSolution sol = evaluate(p, {0, 1});
+  EXPECT_TRUE(sol.feasible);
+  // cost(0,0)=0 + cost(1,1)=2 + activation(1)=10.
+  EXPECT_DOUBLE_EQ(sol.total_cost, 12.0);
+  EXPECT_TRUE(sol.powered_on[1]);
+}
+
+TEST(Evaluate, CountsUnassigned) {
+  const AssignmentProblem p = simple_problem(3, 2);
+  const AssignmentSolution sol = evaluate(p, {0, kUnassigned, 1});
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_EQ(sol.unassigned_count, 1u);
+}
+
+TEST(Validate, RejectsCapacityViolation) {
+  AssignmentProblem p = simple_problem(3, 1);
+  p.set_capacity(0, 0, 2.0);  // only two unit slots
+  AssignmentSolution sol = evaluate(p, {0, 0, 0});
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_FALSE(validate(p, sol));
+}
+
+TEST(Validate, RejectsInfeasiblePairUse) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_cost(0, 1, kInfinity);  // latency-infeasible
+  AssignmentSolution sol;
+  sol.assignment = {1, 0};
+  sol.powered_on = {1, 1};
+  EXPECT_FALSE(validate(p, sol));
+}
+
+TEST(Validate, RejectsPoweredOffHosting) {
+  AssignmentProblem p = simple_problem(1, 1);
+  AssignmentSolution sol;
+  sol.assignment = {0};
+  sol.powered_on = {0};  // claims server off while hosting (Eq. 5)
+  EXPECT_FALSE(validate(p, sol));
+}
+
+TEST(Validate, RejectsPoweringOffInitiallyOnServer) {
+  AssignmentProblem p = simple_problem(1, 2);
+  AssignmentSolution sol;
+  sol.assignment = {0};
+  sol.powered_on = {1, 0};  // server 1 initially on but reported off (Eq. 4)
+  EXPECT_FALSE(validate(p, sol));
+}
+
+TEST(SolveExact, PicksCheapestFeasible) {
+  AssignmentProblem p = simple_problem(2, 3);
+  const AssignmentSolution sol = solve_exact(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.assignment[0], 0u);
+  EXPECT_EQ(sol.assignment[1], 0u);  // costs i+j favor server 0
+  EXPECT_DOUBLE_EQ(sol.total_cost, 0.0 + 1.0);
+}
+
+TEST(SolveExact, RespectsCapacity) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_capacity(0, 0, 1.0);
+  const AssignmentSolution sol = solve_exact(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NE(sol.assignment[0], sol.assignment[1]);
+}
+
+TEST(SolveExact, WeighsActivationAgainstPlacement) {
+  // Server 1 is cheaper per-app but off with a big activation cost: with one
+  // app the optimizer stays on server 0; with three apps activation
+  // amortizes and server 1 wins.
+  const auto build = [](std::size_t apps) {
+    AssignmentProblem p(apps, 2, 1);
+    p.set_capacity(0, 0, 10.0);
+    p.set_capacity(1, 0, 10.0);
+    p.set_initially_on(1, false);
+    p.set_activation_cost(1, 5.0);
+    for (std::size_t i = 0; i < apps; ++i) {
+      p.set_cost(i, 0, 4.0);
+      p.set_cost(i, 1, 1.0);
+      p.set_demand(i, 0, 0, 1.0);
+      p.set_demand(i, 1, 0, 1.0);
+    }
+    return p;
+  };
+  const AssignmentSolution one = solve_exact(build(1));
+  ASSERT_TRUE(one.feasible);
+  EXPECT_EQ(one.assignment[0], 0u);  // 4 < 1 + 5
+  const AssignmentSolution three = solve_exact(build(3));
+  ASSERT_TRUE(three.feasible);
+  for (const std::size_t j : three.assignment) EXPECT_EQ(j, 1u);  // 3+5 < 12
+}
+
+TEST(SolveExact, InfeasibleWhenAppHasNoServer) {
+  AssignmentProblem p(1, 1, 1);  // cost left at infinity
+  const AssignmentSolution sol = solve_exact(p);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_EQ(sol.unassigned_count, 1u);
+}
+
+TEST(SolveFlow, MatchesExactOnUnitSlotInstances) {
+  AssignmentProblem p = simple_problem(4, 3);
+  p.set_capacity(0, 0, 2.0);
+  p.set_capacity(1, 0, 1.0);
+  p.set_capacity(2, 0, 4.0);
+  ASSERT_TRUE(p.is_unit_slot());
+  const AssignmentSolution flow = solve_flow(p);
+  const AssignmentSolution exact = solve_exact(p);
+  ASSERT_TRUE(flow.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_NEAR(flow.total_cost, exact.total_cost, 1e-9);
+}
+
+TEST(UnitSlotDetection, RejectsNonUnitDemand) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_demand(0, 1, 0, 2.0);
+  EXPECT_FALSE(p.is_unit_slot());
+}
+
+TEST(UnitSlotDetection, RejectsFractionalCapacity) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_capacity(0, 0, 1.5);
+  EXPECT_FALSE(p.is_unit_slot());
+}
+
+TEST(UnitSlotDetection, RejectsActivationCosts) {
+  AssignmentProblem p = simple_problem(2, 2);
+  p.set_initially_on(0, false);
+  p.set_activation_cost(0, 1.0);
+  EXPECT_FALSE(p.is_unit_slot());
+}
+
+TEST(SolveGreedy, FeasibleAndReasonable) {
+  AssignmentProblem p = simple_problem(5, 3);
+  const AssignmentSolution sol = solve_greedy(p);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_TRUE(validate(p, sol));
+}
+
+TEST(SolveGreedy, HandlesTightCapacities) {
+  AssignmentProblem p = simple_problem(4, 4);
+  for (std::size_t j = 0; j < 4; ++j) p.set_capacity(j, 0, 1.0);
+  const AssignmentSolution sol = solve_greedy(p);
+  ASSERT_TRUE(sol.feasible);
+  // All four servers used exactly once.
+  std::array<int, 4> used{};
+  for (const std::size_t j : sol.assignment) ++used[j];
+  for (const int u : used) EXPECT_EQ(u, 1);
+}
+
+TEST(LocalSearch, FixesGreedyMisstep) {
+  // Construct an instance where a swap strictly improves: two apps with
+  // opposite preferences on capacity-1 servers.
+  AssignmentProblem p(2, 2, 1);
+  p.set_capacity(0, 0, 1.0);
+  p.set_capacity(1, 0, 1.0);
+  p.set_cost(0, 0, 5.0);
+  p.set_cost(0, 1, 1.0);
+  p.set_cost(1, 0, 1.0);
+  p.set_cost(1, 1, 5.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) p.set_demand(i, j, 0, 1.0);
+  }
+  AssignmentSolution sol = evaluate(p, {0, 1});  // the bad crossing, cost 10
+  EXPECT_DOUBLE_EQ(sol.total_cost, 10.0);
+  const std::size_t moves = improve_local_search(p, sol);
+  EXPECT_GE(moves, 1u);
+  EXPECT_DOUBLE_EQ(sol.total_cost, 2.0);
+  EXPECT_TRUE(validate(p, sol));
+}
+
+TEST(SolveAuto, UsesFlowForUnitSlot) {
+  AssignmentProblem p = simple_problem(3, 2);
+  const AssignmentSolution sol = solve_auto(p);
+  ASSERT_TRUE(sol.feasible);
+  const AssignmentSolution exact = solve_exact(p);
+  EXPECT_NEAR(sol.total_cost, exact.total_cost, 1e-9);
+}
+
+// Property suite: random multi-resource instances — exact is never worse
+// than greedy+LS, both are valid, flow agrees on unit-slot restrictions.
+class RandomAssignment : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAssignment, SolverHierarchyHolds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271828 + 7);
+  const std::size_t apps = 2 + rng.uniform_index(5);
+  const std::size_t servers = 2 + rng.uniform_index(3);
+  AssignmentProblem p(apps, servers, 2);
+  for (std::size_t j = 0; j < servers; ++j) {
+    p.set_capacity(j, 0, rng.uniform(2.0, 8.0));
+    p.set_capacity(j, 1, rng.uniform(2.0, 8.0));
+    if (rng.bernoulli(0.3)) {
+      p.set_initially_on(j, false);
+      p.set_activation_cost(j, rng.uniform(0.0, 5.0));
+    }
+  }
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) {
+      if (rng.bernoulli(0.15)) continue;  // latency-infeasible pair
+      p.set_cost(i, j, rng.uniform(0.0, 10.0));
+      p.set_demand(i, j, 0, rng.uniform(0.3, 1.5));
+      p.set_demand(i, j, 1, rng.uniform(0.3, 1.5));
+    }
+  }
+
+  const AssignmentSolution exact = solve_exact(p);
+  AssignmentSolution heuristic = solve_greedy(p);
+  improve_local_search(p, heuristic);
+
+  if (exact.feasible) {
+    EXPECT_TRUE(validate(p, exact));
+    if (heuristic.feasible) {
+      EXPECT_LE(exact.total_cost, heuristic.total_cost + 1e-6) << "seed " << GetParam();
+    }
+  } else {
+    // If the exact solver proves infeasibility the heuristic cannot find a
+    // valid full assignment either.
+    EXPECT_FALSE(heuristic.feasible) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomAssignment, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace carbonedge::solver

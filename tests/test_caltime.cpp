@@ -1,0 +1,66 @@
+#include "carbon/caltime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::carbon {
+namespace {
+
+TEST(CalTime, Constants) {
+  EXPECT_EQ(kHoursPerYear, 8760u);
+  EXPECT_EQ(kDaysPerYear, 365u);
+}
+
+TEST(CalTime, HourOfDayWraps) {
+  EXPECT_EQ(hour_of_day(0), 0u);
+  EXPECT_EQ(hour_of_day(23), 23u);
+  EXPECT_EQ(hour_of_day(24), 0u);
+  EXPECT_EQ(hour_of_day(kHoursPerYear + 5), 5u);
+}
+
+TEST(CalTime, DayOfYearWraps) {
+  EXPECT_EQ(day_of_year(0), 0u);
+  EXPECT_EQ(day_of_year(23), 0u);
+  EXPECT_EQ(day_of_year(24), 1u);
+  EXPECT_EQ(day_of_year(kHoursPerYear), 0u);
+}
+
+TEST(CalTime, MonthLengthsSumToYear) {
+  std::uint32_t total = 0;
+  for (std::uint32_t m = 0; m < kMonthsPerYear; ++m) total += days_in_month(m);
+  EXPECT_EQ(total, kDaysPerYear);
+}
+
+TEST(CalTime, MonthOfDayBoundaries) {
+  EXPECT_EQ(month_of_day(0), 0u);     // Jan 1
+  EXPECT_EQ(month_of_day(30), 0u);    // Jan 31
+  EXPECT_EQ(month_of_day(31), 1u);    // Feb 1
+  EXPECT_EQ(month_of_day(58), 1u);    // Feb 28
+  EXPECT_EQ(month_of_day(59), 2u);    // Mar 1
+  EXPECT_EQ(month_of_day(364), 11u);  // Dec 31
+}
+
+TEST(CalTime, MonthStartHourConsistent) {
+  EXPECT_EQ(month_start_hour(0), 0u);
+  EXPECT_EQ(month_start_hour(1), 31u * 24u);
+  // Start of month m+1 equals start of m plus its span.
+  for (std::uint32_t m = 0; m + 1 < kMonthsPerYear; ++m) {
+    EXPECT_EQ(month_start_hour(m + 1), month_start_hour(m) + days_in_month(m) * kHoursPerDay);
+  }
+}
+
+TEST(CalTime, MonthOfHourAgreesWithStartHours) {
+  for (std::uint32_t m = 0; m < kMonthsPerYear; ++m) {
+    EXPECT_EQ(month_of_hour(month_start_hour(m)), m);
+    const HourIndex last = month_start_hour(m) + days_in_month(m) * kHoursPerDay - 1;
+    EXPECT_EQ(month_of_hour(last), m);
+  }
+}
+
+TEST(CalTime, MonthNames) {
+  EXPECT_EQ(month_name(0), "Jan");
+  EXPECT_EQ(month_name(11), "Dec");
+  EXPECT_EQ(month_name(12), "Jan");  // wraps
+}
+
+}  // namespace
+}  // namespace carbonedge::carbon

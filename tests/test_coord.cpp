@@ -1,0 +1,70 @@
+#include "geo/coord.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const GeoPoint p{25.76, -80.19};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{25.76, -80.19};
+  const GeoPoint b{30.33, -81.66};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, KnownDistances) {
+  // Miami - Jacksonville: ~530 km.
+  EXPECT_NEAR(haversine_km({25.76, -80.19}, {30.33, -81.66}), 530.0, 15.0);
+  // Bern - Munich: ~330 km.
+  EXPECT_NEAR(haversine_km({46.95, 7.45}, {48.14, 11.58}), 335.0, 15.0);
+  // New York - Los Angeles: ~3940 km.
+  EXPECT_NEAR(haversine_km({40.71, -74.01}, {34.05, -118.24}), 3940.0, 60.0);
+}
+
+TEST(Haversine, QuarterCircumferenceAtEquator) {
+  // 90 degrees of longitude at the equator is a quarter circumference.
+  EXPECT_NEAR(haversine_km({0.0, 0.0}, {0.0, 90.0}), 10007.5, 10.0);
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+  EXPECT_NEAR(haversine_km({0.0, 0.0}, {0.0, 180.0}), 20015.0, 15.0);
+}
+
+TEST(Haversine, TriangleInequalityHolds) {
+  const GeoPoint a{25.76, -80.19};
+  const GeoPoint b{28.54, -81.38};
+  const GeoPoint c{30.44, -84.28};
+  EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-9);
+}
+
+TEST(BoundingBox, ExtentMatchesPaperStyleAnnotations) {
+  // Florida region bounding box should be on the order of 800 x 700 km
+  // (Figure 2a annotates "807km x 712km" for a slightly larger window).
+  BoundingBox box;
+  box.extend({30.33, -81.66});  // Jacksonville
+  box.extend({25.76, -80.19});  // Miami
+  box.extend({27.95, -82.46});  // Tampa
+  box.extend({28.54, -81.38});  // Orlando
+  box.extend({30.44, -84.28});  // Tallahassee
+  EXPECT_NEAR(box.height_km(), 520.0, 40.0);
+  EXPECT_NEAR(box.width_km(), 400.0, 40.0);
+}
+
+TEST(BoundingBox, SinglePointHasZeroExtent) {
+  BoundingBox box;
+  box.extend({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(box.width_km(), 0.0);
+  EXPECT_DOUBLE_EQ(box.height_km(), 0.0);
+}
+
+TEST(Continent, Names) {
+  EXPECT_STREQ(to_string(Continent::kNorthAmerica), "North America");
+  EXPECT_STREQ(to_string(Continent::kEurope), "Europe");
+}
+
+}  // namespace
+}  // namespace carbonedge::geo

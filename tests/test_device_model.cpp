@@ -1,0 +1,97 @@
+#include "sim/app_model.hpp"
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::sim {
+namespace {
+
+TEST(Device, ProfilesArePhysical) {
+  for (const DeviceType d : kAllDevices) {
+    const DeviceProfile& p = device_profile(d);
+    EXPECT_GT(p.idle_power_w, 0.0);
+    EXPECT_GT(p.max_power_w, p.idle_power_w);
+    EXPECT_GT(p.memory_mb, 0.0);
+    EXPECT_GE(p.concurrency, 1.0);
+    EXPECT_FALSE(p.name.empty());
+  }
+}
+
+TEST(Device, PowerOrderingMatchesPaper) {
+  // Orin Nano << A2 << GTX 1080 in power draw (Section 6.1.2 specs).
+  EXPECT_LT(device_profile(DeviceType::kOrinNano).max_power_w,
+            device_profile(DeviceType::kA2).max_power_w);
+  EXPECT_LT(device_profile(DeviceType::kA2).max_power_w,
+            device_profile(DeviceType::kGtx1080).max_power_w);
+}
+
+TEST(AppModel, GpuModelsRunOnAllGpus) {
+  for (const ModelType m : kGpuModels) {
+    for (const DeviceType d : {DeviceType::kOrinNano, DeviceType::kA2, DeviceType::kGtx1080}) {
+      EXPECT_TRUE(profile_of(m, d).supported) << to_string(m) << " on " << to_string(d);
+    }
+  }
+}
+
+TEST(AppModel, CrossDomainPairsUnsupported) {
+  EXPECT_FALSE(profile_of(ModelType::kSciCpu, DeviceType::kA2).supported);
+  EXPECT_FALSE(profile_of(ModelType::kResNet50, DeviceType::kXeonCpu).supported);
+  EXPECT_THROW((void)require_profile(ModelType::kYoloV4, DeviceType::kXeonCpu), std::invalid_argument);
+}
+
+TEST(AppModel, Figure7aEnergySpansModels) {
+  // ~45x energy spread across models on the same device.
+  for (const DeviceType d : {DeviceType::kOrinNano, DeviceType::kA2, DeviceType::kGtx1080}) {
+    const double lo = require_profile(ModelType::kEfficientNetB0, d).energy_j;
+    const double hi = require_profile(ModelType::kYoloV4, d).energy_j;
+    EXPECT_GT(hi / lo, 30.0) << to_string(d);
+    EXPECT_LT(hi / lo, 70.0) << to_string(d);
+  }
+}
+
+TEST(AppModel, Figure7aEnergySpansDevices) {
+  // ~2x energy spread across devices for the same model.
+  for (const ModelType m : kGpuModels) {
+    const double lo = require_profile(m, DeviceType::kOrinNano).energy_j;
+    const double hi = require_profile(m, DeviceType::kGtx1080).energy_j;
+    EXPECT_GT(hi / lo, 1.5) << to_string(m);
+    EXPECT_LT(hi / lo, 3.0) << to_string(m);
+  }
+}
+
+TEST(AppModel, Figure7bMemoryGrowsWithModelSize) {
+  for (const DeviceType d : {DeviceType::kOrinNano, DeviceType::kA2, DeviceType::kGtx1080}) {
+    EXPECT_LT(require_profile(ModelType::kEfficientNetB0, d).memory_mb,
+              require_profile(ModelType::kResNet50, d).memory_mb);
+    EXPECT_LT(require_profile(ModelType::kResNet50, d).memory_mb,
+              require_profile(ModelType::kYoloV4, d).memory_mb);
+    EXPECT_LE(require_profile(ModelType::kYoloV4, d).memory_mb, 560.0);
+  }
+}
+
+TEST(AppModel, Figure7cFasterDevicesHaveLowerInferenceTime) {
+  for (const ModelType m : kGpuModels) {
+    EXPECT_GT(require_profile(m, DeviceType::kOrinNano).inference_ms,
+              require_profile(m, DeviceType::kA2).inference_ms);
+    EXPECT_GT(require_profile(m, DeviceType::kA2).inference_ms,
+              require_profile(m, DeviceType::kGtx1080).inference_ms);
+  }
+  EXPECT_LE(require_profile(ModelType::kYoloV4, DeviceType::kOrinNano).inference_ms, 45.0);
+}
+
+TEST(AppModel, ComputeDemandScalesWithRateAndSpeed) {
+  const double a2 = compute_demand_per_rps(ModelType::kResNet50, DeviceType::kA2);
+  const double gtx = compute_demand_per_rps(ModelType::kResNet50, DeviceType::kGtx1080);
+  EXPECT_GT(a2, 0.0);
+  // The GTX is both faster per request and has more streams -> much lower
+  // busy-fraction per rps.
+  EXPECT_LT(gtx, a2);
+}
+
+TEST(AppModel, Names) {
+  EXPECT_EQ(to_string(ModelType::kEfficientNetB0), "EfficientNetB0");
+  EXPECT_EQ(to_string(ModelType::kSciCpu), "Sci");
+}
+
+}  // namespace
+}  // namespace carbonedge::sim

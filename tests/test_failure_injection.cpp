@@ -1,0 +1,190 @@
+// Failure-injection tests: infeasible batches, saturated and zero-capacity
+// clusters, powered-down fleets, degenerate traces — the system must degrade
+// gracefully (reject, not crash or corrupt state).
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace carbonedge::core {
+namespace {
+
+carbon::CarbonIntensityService make_service(const geo::Region& region) {
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  return service;
+}
+
+TEST(FailureInjection, ImpossibleSloRejectsEverything) {
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 4;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.latency_limit_rtt_ms = -1.0;  // unsatisfiable
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  const SimulationResult result = simulation.run(config);
+  EXPECT_EQ(result.apps_placed, 0u);
+  EXPECT_GT(result.apps_rejected, 0u);
+  EXPECT_DOUBLE_EQ(result.telemetry.total_carbon_g(), 0.0);
+}
+
+TEST(FailureInjection, SaturationRejectsOverflowOnly) {
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kOrinNano), service);
+  SimulationConfig config;
+  config.epochs = 8;
+  config.workload.arrivals_per_site = 6.0;  // far beyond Orin Nano capacity
+  config.workload.model_weights = {0.0, 0.0, 1.0, 0.0};  // heavy YOLOv4
+  config.workload.min_rps = 8.0;
+  config.workload.max_rps = 10.0;
+  config.workload.mean_lifetime_epochs = 100.0;  // no departures
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.apps_placed, 0u);
+  EXPECT_GT(result.apps_rejected, 0u);
+  // Capacity invariants hold even under pressure.
+  for (const auto& record : result.telemetry.epochs()) {
+    for (const auto& site : record.sites) EXPECT_GE(site.energy_wh, 0.0);
+  }
+}
+
+TEST(FailureInjection, AllServersPoweredOffStillServesByActivation) {
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  auto cluster = sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2);
+  for (auto& site : cluster.sites()) {
+    for (auto& server : site.servers()) server.set_powered_on(false);
+  }
+  EdgeSimulation simulation(std::move(cluster), service);
+  SimulationConfig config;
+  config.epochs = 4;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  const SimulationResult result = simulation.run(config);
+  // CarbonEdge pays activation (Eq. 6's second term) and still places.
+  EXPECT_EQ(result.apps_placed, 5u);
+  EXPECT_EQ(result.apps_rejected, 0u);
+}
+
+TEST(FailureInjection, ZeroRateAppsCostNothingButPlace) {
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 2;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.min_rps = 0.0;
+  config.workload.max_rps = 1e-9;
+  config.workload.model_weights = {1.0, 0.0, 0.0, 0.0};
+  const SimulationResult result = simulation.run(config);
+  EXPECT_EQ(result.apps_placed, 5u);
+  EXPECT_NEAR(result.telemetry.total_carbon_g(), 0.0, 1e-6);
+}
+
+TEST(FailureInjection, FlatTraceMakesPoliciesEquivalentOnCarbon) {
+  // With a constant, identical intensity everywhere, CarbonEdge has no
+  // spatial signal: its emissions match Latency-aware (energy decides).
+  const auto region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  for (const geo::City& city : region.resolve()) {
+    service.add_trace(
+        carbon::CarbonTrace(city.name, std::vector<double>(carbon::kHoursPerYear, 250.0)));
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 12;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  const auto results = run_policies(simulation, config,
+                                    {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+  EXPECT_NEAR(carbon_saving(results[0], results[1]), 0.0, 0.02);
+}
+
+TEST(FailureInjection, ZeroIntensityZoneAttractsEverything) {
+  const auto region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  const auto cities = region.resolve();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    const double level = i == 3 ? 0.0 : 400.0;  // Orlando is carbon-free
+    service.add_trace(carbon::CarbonTrace(
+        cities[i].name, std::vector<double>(carbon::kHoursPerYear, level)));
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 4;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 30.0;
+  const SimulationResult result = simulation.run(config);
+  const auto apps = result.telemetry.apps_by_site(0, 4);
+  EXPECT_DOUBLE_EQ(apps[3], 5.0);
+  EXPECT_NEAR(result.telemetry.total_carbon_g(), 0.0, 1e-9);
+}
+
+TEST(FailureInjection, ShortTraceWrapsInsteadOfCrashing) {
+  const auto region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  for (const geo::City& city : region.resolve()) {
+    service.add_trace(carbon::CarbonTrace(city.name, {100.0, 200.0, 300.0}));  // 3 hours only
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 10;  // runs past the trace end -> cyclic replay
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  EXPECT_NO_THROW(simulation.run(config));
+}
+
+TEST(FailureInjection, SaturatedHeteroAlphaSweepNeverCorruptsState) {
+  // Regression for a local-search bookkeeping bug: under heavy load on a
+  // heterogeneous cluster, relocate/swap chains must never emit assignments
+  // that exceed server capacity (previously crashed the commit path).
+  const auto region = geo::central_eu_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_hetero_cluster(region, 3,
+                               {sim::DeviceType::kOrinNano, sim::DeviceType::kA2,
+                                sim::DeviceType::kGtx1080}),
+      service);
+  SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 4.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.mean_lifetime_epochs = 12.0;
+  config.workload.latency_limit_rtt_ms = 25.0;
+  for (double alpha = 0.0; alpha <= 1.001; alpha += 0.25) {
+    config.policy = PolicyConfig::multi_objective(alpha);
+    EXPECT_NO_THROW(simulation.run(config)) << "alpha " << alpha;
+  }
+}
+
+TEST(FailureInjection, MixedUnsupportedModelsPartiallyPlace) {
+  // GPU cluster receives a half CPU / half GPU batch: the GPU share places,
+  // the CPU share is rejected.
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 2;
+  config.workload.arrivals_per_site = 2.0;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 1.0};  // ResNet50 + SciCpu
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.apps_placed, 0u);
+  EXPECT_GT(result.apps_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace carbonedge::core

@@ -1,0 +1,159 @@
+#include "solver/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solver/milp.hpp"
+#include "util/random.hpp"
+
+namespace carbonedge::solver {
+namespace {
+
+TEST(MinCostFlow, SingleArc) {
+  MinCostFlow net(2);
+  const std::size_t arc = net.add_arc(0, 1, 5, 2.0);
+  const auto result = net.solve(0, 1);
+  EXPECT_EQ(result.flow, 5);
+  EXPECT_DOUBLE_EQ(result.cost, 10.0);
+  EXPECT_EQ(net.flow_on(arc), 5);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // Two parallel 0->1->3 / 0->2->3 paths; cheap one saturates first.
+  MinCostFlow net(4);
+  net.add_arc(0, 1, 3, 1.0);
+  net.add_arc(1, 3, 3, 1.0);
+  net.add_arc(0, 2, 10, 5.0);
+  net.add_arc(2, 3, 10, 5.0);
+  const auto result = net.solve(0, 3, 5);
+  EXPECT_EQ(result.flow, 5);
+  EXPECT_DOUBLE_EQ(result.cost, 3 * 2.0 + 2 * 10.0);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowCap) {
+  MinCostFlow net(2);
+  net.add_arc(0, 1, 100, 1.0);
+  const auto result = net.solve(0, 1, 7);
+  EXPECT_EQ(result.flow, 7);
+}
+
+TEST(MinCostFlow, DisconnectedShipsNothing) {
+  MinCostFlow net(3);
+  net.add_arc(0, 1, 5, 1.0);
+  const auto result = net.solve(0, 2);
+  EXPECT_EQ(result.flow, 0);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(MinCostFlow, ReroutesThroughResidualEdges) {
+  // Classic diamond where optimal max-flow requires "undoing" flow.
+  MinCostFlow net(4);
+  net.add_arc(0, 1, 1, 1.0);
+  net.add_arc(0, 2, 1, 3.0);
+  net.add_arc(1, 2, 1, 1.0);
+  net.add_arc(1, 3, 1, 4.0);
+  net.add_arc(2, 3, 2, 1.0);
+  const auto result = net.solve(0, 3);
+  EXPECT_EQ(result.flow, 2);
+  // Optimal: 0-1-2-3 (cost 3) + 0-2-3 (cost 4) = 7.
+  EXPECT_DOUBLE_EQ(result.cost, 7.0);
+}
+
+TEST(MinCostFlow, NegativeCostsHandled) {
+  MinCostFlow net(3);
+  net.add_arc(0, 1, 2, -3.0);
+  net.add_arc(1, 2, 2, 1.0);
+  const auto result = net.solve(0, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_DOUBLE_EQ(result.cost, 2 * (-2.0));
+}
+
+TEST(MinCostFlow, InvalidInputsThrow) {
+  MinCostFlow net(2);
+  EXPECT_THROW(net.add_arc(0, 5, 1, 0.0), std::out_of_range);
+  EXPECT_THROW(net.add_arc(0, 1, -1, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.solve(0, 9), std::out_of_range);
+}
+
+TEST(MinCostFlow, SourceEqualsSinkIsZero) {
+  MinCostFlow net(2);
+  net.add_arc(0, 1, 1, 1.0);
+  const auto result = net.solve(0, 0);
+  EXPECT_EQ(result.flow, 0);
+}
+
+TEST(MinCostFlow, AssignmentMatchesHungarianOptimum) {
+  // 3x3 assignment with a known optimal matching.
+  const double cost[3][3] = {{4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  // Optimum: a0->j1(1), a1->j0(2), a2->j2(2) = 5.
+  MinCostFlow net(8);  // 0 src, 1-3 apps, 4-6 jobs, 7 sink
+  for (std::size_t i = 0; i < 3; ++i) net.add_arc(0, 1 + i, 1, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) net.add_arc(1 + i, 4 + j, 1, cost[i][j]);
+  }
+  for (std::size_t j = 0; j < 3; ++j) net.add_arc(4 + j, 7, 1, 0.0);
+  const auto result = net.solve(0, 7);
+  EXPECT_EQ(result.flow, 3);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+// Property suite: random transportation problems cross-checked against the
+// exact MILP solver.
+class RandomTransport : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTransport, FlowMatchesMilp) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  const std::size_t apps = 2 + rng.uniform_index(4);
+  const std::size_t servers = 2 + rng.uniform_index(3);
+  std::vector<std::int64_t> slots(servers);
+  std::int64_t total_slots = 0;
+  for (auto& s : slots) {
+    s = 1 + static_cast<std::int64_t>(rng.uniform_index(3));
+    total_slots += s;
+  }
+  if (total_slots < static_cast<std::int64_t>(apps)) slots[0] += apps;  // keep feasible
+  std::vector<std::vector<double>> cost(apps, std::vector<double>(servers));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform(0.0, 10.0);
+  }
+
+  // Flow formulation.
+  MinCostFlow net(apps + servers + 2);
+  const std::size_t sink = apps + servers + 1;
+  for (std::size_t i = 0; i < apps; ++i) net.add_arc(0, 1 + i, 1, 0.0);
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) net.add_arc(1 + i, 1 + apps + j, 1, cost[i][j]);
+  }
+  for (std::size_t j = 0; j < servers; ++j) net.add_arc(1 + apps + j, sink, slots[j], 0.0);
+  const auto flow_result = net.solve(0, sink);
+
+  // MILP formulation.
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t j = 0; j < servers; ++j) vars.push_back(lp.add_variable(cost[i][j], 0.0, 1.0));
+  }
+  for (std::size_t i = 0; i < apps; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t j = 0; j < servers; ++j) {
+      terms.emplace_back(static_cast<int>(i * servers + j), 1.0);
+    }
+    lp.add_constraint(std::move(terms), Sense::kEqual, 1.0);
+  }
+  for (std::size_t j = 0; j < servers; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t i = 0; i < apps; ++i) {
+      terms.emplace_back(static_cast<int>(i * servers + j), 1.0);
+    }
+    lp.add_constraint(std::move(terms), Sense::kLessEqual, static_cast<double>(slots[j]));
+  }
+  const MilpSolution milp = solve_milp(lp, vars);
+
+  ASSERT_EQ(milp.status, MilpStatus::kOptimal);
+  EXPECT_EQ(flow_result.flow, static_cast<std::int64_t>(apps));
+  EXPECT_NEAR(flow_result.cost, milp.objective, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTransport, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace carbonedge::solver

@@ -1,0 +1,199 @@
+// Cross-module integration tests: full regional day runs and a CDN-style
+// multi-week simulation, asserting the paper's qualitative results
+// (Sections 6.2 and 6.3) end to end.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace carbonedge::core {
+namespace {
+
+carbon::CarbonIntensityService make_service(const geo::Region& region) {
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  return service;
+}
+
+SimulationConfig regional_day() {
+  SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 0.0, 0.0, 1.0};  // CPU Sci app
+  config.workload.latency_limit_rtt_ms = 25.0;
+  return config;
+}
+
+std::vector<PolicyConfig> all_policies() {
+  return {PolicyConfig::latency_aware(), PolicyConfig::energy_aware(),
+          PolicyConfig::intensity_aware(), PolicyConfig::carbon_edge()};
+}
+
+TEST(Integration, Section62FloridaDay) {
+  const auto region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kXeonCpu), service);
+  const auto results = run_policies(simulation, regional_day(),
+                                    {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+  const double saving = carbon_saving(results[0], results[1]);
+  // Paper: 39.4% for Florida; our synthetic grids land in the same band.
+  EXPECT_GT(saving, 0.25);
+  EXPECT_LT(saving, 0.85);
+  // Response-time increase stays below ~10.1 ms per Figure 9's bound, with
+  // headroom for model differences.
+  EXPECT_LT(latency_increase_ms(results[0], results[1]), 14.0);
+}
+
+TEST(Integration, Section62CentralEuDayBeatsFlorida) {
+  const SimulationConfig config = regional_day();
+  const auto florida = geo::florida_region();
+  const auto eu = geo::central_eu_region();
+  const auto florida_service = make_service(florida);
+  const auto eu_service = make_service(eu);
+  EdgeSimulation florida_sim(
+      sim::make_uniform_cluster(florida, 1, sim::DeviceType::kXeonCpu), florida_service);
+  EdgeSimulation eu_sim(sim::make_uniform_cluster(eu, 1, sim::DeviceType::kXeonCpu), eu_service);
+  const auto fl = run_policies(florida_sim, config,
+                               {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+  const auto ce = run_policies(eu_sim, config,
+                               {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+  const double fl_saving = carbon_saving(fl[0], fl[1]);
+  const double eu_saving = carbon_saving(ce[0], ce[1]);
+  // Paper: Central EU (78.7%) saves more than Florida (39.4%).
+  EXPECT_GT(eu_saving, fl_saving);
+  EXPECT_GT(eu_saving, 0.6);
+}
+
+TEST(Integration, GpuAndCpuWorkloadsGetSamePlacementShape) {
+  // Figure 10: "the proposed system implements the same placement decisions
+  // apart from the application requirements" — savings are consistent
+  // across the Sci CPU app and ResNet50.
+  const auto region = geo::central_eu_region();
+  const auto service = make_service(region);
+
+  SimulationConfig cpu_config = regional_day();
+  EdgeSimulation cpu_sim(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kXeonCpu), service);
+  const auto cpu = run_policies(cpu_sim, cpu_config,
+                                {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+
+  SimulationConfig gpu_config = regional_day();
+  gpu_config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};  // ResNet50
+  EdgeSimulation gpu_sim(sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  const auto gpu = run_policies(gpu_sim, gpu_config,
+                                {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+
+  const double cpu_saving = carbon_saving(cpu[0], cpu[1]);
+  const double gpu_saving = carbon_saving(gpu[0], gpu[1]);
+  EXPECT_NEAR(cpu_saving, gpu_saving, 0.15);
+  // GPU app draws far less power than the CPU app -> lower absolute carbon.
+  EXPECT_LT(gpu[0].telemetry.total_carbon_g(), cpu[0].telemetry.total_carbon_g());
+}
+
+TEST(Integration, PolicyOrderingOnHeterogeneousCluster) {
+  // Figure 15's qualitative ordering: CarbonEdge emits least; Latency-aware
+  // emits most; Energy/Intensity-aware in between.
+  const auto region = geo::central_eu_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_hetero_cluster(region, 3,
+                               {sim::DeviceType::kOrinNano, sim::DeviceType::kA2,
+                                sim::DeviceType::kGtx1080}),
+      service);
+  SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.mean_lifetime_epochs = 8.0;
+  config.workload.latency_limit_rtt_ms = 25.0;
+  const auto results = run_policies(simulation, config, all_policies());
+  const double latency_aware = results[0].telemetry.total_carbon_g();
+  const double carbon_edge = results[3].telemetry.total_carbon_g();
+  EXPECT_LT(carbon_edge, latency_aware);
+  EXPECT_LE(carbon_edge, results[1].telemetry.total_carbon_g() + 1e-9);
+  EXPECT_LE(carbon_edge, results[2].telemetry.total_carbon_g() + 1e-9);
+  // Carbon-energy trade-off (Figure 15b): CarbonEdge uses at least as much
+  // energy as Energy-aware.
+  EXPECT_GE(results[3].telemetry.total_energy_wh(),
+            results[1].telemetry.total_energy_wh() * 0.99);
+}
+
+TEST(Integration, CdnWeekAcrossEurope) {
+  // A week of a 25-site European CDN: CarbonEdge saves carbon at a bounded
+  // RTT increase (Figure 11's shape).
+  const auto region = geo::cdn_region(geo::Continent::kEurope, 25);
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 7 * 24 / 3;
+  config.epoch_hours = 3.0;
+  config.workload.arrivals_per_site = 0.3;
+  config.workload.mean_lifetime_epochs = 16.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 20.0;
+  const auto results = run_policies(simulation, config,
+                                    {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+  const double saving = carbon_saving(results[0], results[1]);
+  EXPECT_GT(saving, 0.3);
+  const double dlat = latency_increase_ms(results[0], results[1]);
+  EXPECT_GT(dlat, 0.0);
+  EXPECT_LT(dlat, 20.0);
+  // Load shifts toward low-intensity zones: the request-weighted intensity
+  // distribution under CarbonEdge is stochastically smaller (Figure 11c).
+  const util::EmpiricalCdf base_cdf(results[0].telemetry.load_intensity_sample());
+  const util::EmpiricalCdf ce_cdf(results[1].telemetry.load_intensity_sample());
+  EXPECT_GT(ce_cdf.at(200.0), base_cdf.at(200.0));
+}
+
+TEST(Integration, LatencyToleranceMonotonicity) {
+  // Figure 12a: savings grow with the latency limit (diminishing returns).
+  const auto region = geo::cdn_region(geo::Continent::kEurope, 15);
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 0.5;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  double previous = -1.0;
+  for (const double limit : {5.0, 15.0, 30.0}) {
+    config.workload.latency_limit_rtt_ms = limit;
+    const auto results = run_policies(
+        simulation, config, {PolicyConfig::latency_aware(), PolicyConfig::carbon_edge()});
+    const double saving = carbon_saving(results[0], results[1]);
+    EXPECT_GE(saving, previous - 0.05) << "limit " << limit;
+    previous = saving;
+  }
+  EXPECT_GT(previous, 0.2);
+}
+
+TEST(Integration, MultiObjectiveAlphaSweepTradesCarbonForEnergy) {
+  // Figure 16: as alpha goes 0 -> 1, energy falls and carbon rises.
+  const auto region = geo::central_eu_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_hetero_cluster(region, 2,
+                               {sim::DeviceType::kOrinNano, sim::DeviceType::kGtx1080}),
+      service);
+  SimulationConfig config;
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 25.0;
+  const auto at_alpha = [&](double alpha) {
+    SimulationConfig c = config;
+    c.policy = PolicyConfig::multi_objective(alpha);
+    return simulation.run(c);
+  };
+  const SimulationResult carbon_first = at_alpha(0.0);
+  const SimulationResult energy_first = at_alpha(1.0);
+  EXPECT_LE(carbon_first.telemetry.total_carbon_g(),
+            energy_first.telemetry.total_carbon_g() * 1.02);
+  EXPECT_GE(carbon_first.telemetry.total_energy_wh(),
+            energy_first.telemetry.total_energy_wh() * 0.98);
+}
+
+}  // namespace
+}  // namespace carbonedge::core

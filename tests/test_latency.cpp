@@ -1,0 +1,120 @@
+#include "geo/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/region.hpp"
+
+namespace carbonedge::geo {
+namespace {
+
+const CityDatabase& db() { return CityDatabase::builtin(); }
+
+TEST(LatencyModel, ZeroForSameCity) {
+  const LatencyModel model;
+  const City& miami = db().require("Miami");
+  EXPECT_DOUBLE_EQ(model.one_way_ms(miami, miami), 0.0);
+}
+
+TEST(LatencyModel, SymmetricAcrossArgumentOrder) {
+  const LatencyModel model;
+  const City& a = db().require("Miami");
+  const City& b = db().require("Tampa");
+  EXPECT_DOUBLE_EQ(model.one_way_ms(a, b), model.one_way_ms(b, a));
+}
+
+TEST(LatencyModel, DeterministicAcrossInstances) {
+  const LatencyModel m1;
+  const LatencyModel m2;
+  const City& a = db().require("Bern");
+  const City& b = db().require("Graz");
+  EXPECT_DOUBLE_EQ(m1.one_way_ms(a, b), m2.one_way_ms(a, b));
+}
+
+TEST(LatencyModel, RttIsTwiceOneWay) {
+  const LatencyModel model;
+  const City& a = db().require("Lyon");
+  const City& b = db().require("Munich");
+  EXPECT_DOUBLE_EQ(model.rtt_ms(a, b), 2.0 * model.one_way_ms(a, b));
+}
+
+TEST(LatencyModel, AboveSpeedOfLightFloor) {
+  const LatencyModel model;
+  const auto cities = db().all();
+  for (std::size_t i = 0; i < cities.size(); i += 7) {
+    for (std::size_t j = i + 1; j < cities.size(); j += 11) {
+      const double km = haversine_km(cities[i].location, cities[j].location);
+      const double floor_ms = km / 204.0;
+      EXPECT_GT(model.one_way_ms(cities[i], cities[j]), floor_ms)
+          << cities[i].name << " - " << cities[j].name;
+    }
+  }
+}
+
+TEST(LatencyModel, CalibratedToTable1Florida) {
+  // Paper Table 1a: Florida one-way latencies between 1.86 and 7.2 ms.
+  const LatencyModel model;
+  const auto cities = florida_region().resolve();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    for (std::size_t j = i + 1; j < cities.size(); ++j) {
+      const double ms = model.one_way_ms(cities[i], cities[j]);
+      EXPECT_GT(ms, 1.0) << cities[i].name << "-" << cities[j].name;
+      EXPECT_LT(ms, 9.0) << cities[i].name << "-" << cities[j].name;
+    }
+  }
+}
+
+TEST(LatencyModel, CalibratedToTable1CentralEu) {
+  // Paper Table 1b: Central-EU one-way latencies between ~4 and ~16.2 ms.
+  const LatencyModel model;
+  const auto cities = central_eu_region().resolve();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    for (std::size_t j = i + 1; j < cities.size(); ++j) {
+      const double ms = model.one_way_ms(cities[i], cities[j]);
+      EXPECT_GT(ms, 2.0);
+      EXPECT_LT(ms, 18.0);
+    }
+  }
+}
+
+TEST(LatencyModel, CrossBorderPairsPayPenalty) {
+  // Same distance, but a cross-border pair should generally exceed a
+  // domestic pair of similar length; verify the penalty enters the model by
+  // comparing parameterizations directly.
+  LatencyModelParams with_penalty;
+  LatencyModelParams without_penalty = with_penalty;
+  without_penalty.cross_border_penalty = 0.0;
+  const LatencyModel penalized(with_penalty);
+  const LatencyModel flat(without_penalty);
+  const City& bern = db().require("Bern");
+  const City& munich = db().require("Munich");  // CH - DE crossing
+  EXPECT_GT(penalized.one_way_ms(bern, munich), flat.one_way_ms(bern, munich));
+  const City& tampa = db().require("Tampa");
+  const City& orlando = db().require("Orlando");  // domestic
+  EXPECT_DOUBLE_EQ(penalized.one_way_ms(tampa, orlando), flat.one_way_ms(tampa, orlando));
+}
+
+TEST(LatencyMatrix, MatchesModelAndIsSymmetric) {
+  const LatencyModel model;
+  const auto cities = florida_region().resolve();
+  const LatencyMatrix matrix(model, cities);
+  ASSERT_EQ(matrix.size(), cities.size());
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix.one_way_ms(i, i), 0.0);
+    for (std::size_t j = 0; j < cities.size(); ++j) {
+      EXPECT_DOUBLE_EQ(matrix.one_way_ms(i, j), matrix.one_way_ms(j, i));
+      EXPECT_DOUBLE_EQ(matrix.one_way_ms(i, j), model.one_way_ms(cities[i], cities[j]));
+      EXPECT_DOUBLE_EQ(matrix.rtt_ms(i, j), 2.0 * matrix.one_way_ms(i, j));
+    }
+  }
+}
+
+TEST(LatencyModel, LongerDistanceCostsMoreOnAverage) {
+  const LatencyModel model;
+  const City& miami = db().require("Miami");
+  const City& orlando = db().require("Orlando");      // ~330 km
+  const City& seattle = db().require("Seattle");      // ~4400 km
+  EXPECT_LT(model.one_way_ms(miami, orlando), model.one_way_ms(miami, seattle));
+}
+
+}  // namespace
+}  // namespace carbonedge::geo

@@ -1,0 +1,225 @@
+#include "solver/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace carbonedge::solver {
+namespace {
+
+TEST(LinearProgram, VariableAndConstraintBookkeeping) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0, 0.0, 5.0);
+  const int y = lp.add_variable(-2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 4.0);
+  EXPECT_EQ(lp.num_variables(), 2u);
+  EXPECT_EQ(lp.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(lp.objective_coeff(y), -2.0);
+  EXPECT_DOUBLE_EQ(lp.upper_bound(x), 5.0);
+}
+
+TEST(LinearProgram, InvalidInputsThrow) {
+  LinearProgram lp;
+  EXPECT_THROW(lp.add_variable(0.0, 2.0, 1.0), std::invalid_argument);
+  const int x = lp.add_variable(0.0);
+  EXPECT_THROW(lp.add_constraint({{x + 5, 1.0}}, Sense::kEqual, 0.0), std::out_of_range);
+}
+
+TEST(LinearProgram, EvaluateAndFeasibility) {
+  LinearProgram lp;
+  const int x = lp.add_variable(3.0, 0.0, 10.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_DOUBLE_EQ(lp.evaluate({4.0}), 12.0);
+  EXPECT_TRUE(lp.is_feasible({4.0}));
+  EXPECT_FALSE(lp.is_feasible({1.0}));   // violates >= 2
+  EXPECT_FALSE(lp.is_feasible({11.0}));  // violates upper bound
+}
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative).
+  LinearProgram lp;
+  const int x = lp.add_variable(-3.0);
+  const int y = lp.add_variable(-5.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  lp.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.values[x], 2.0, 1e-7);
+  EXPECT_NEAR(sol.values[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesEqualityAndGeConstraints) {
+  // min x + 2y s.t. x + y = 3, x >= 1.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 3.0, 1e-7);
+  EXPECT_NEAR(sol.values[y], 0.0, 1e-7);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // min -x with x in [1, 2.5]: optimum at the upper bound.
+  LinearProgram lp;
+  const int x = lp.add_variable(-1.0, 1.0, 2.5);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 2.5, 1e-7);
+}
+
+TEST(Simplex, NonzeroLowerBoundsShiftCorrectly) {
+  // min x + y with x >= 2, y >= 3, x + y >= 7.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0, 2.0, kInfinity);
+  const int y = lp.add_variable(1.0, 3.0, kInfinity);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 7.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0, 0.0, 1.0);
+  lp.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  const int x = lp.add_variable(-1.0);  // min -x, x unbounded above
+  (void)x;
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, EmptyProgramIsTriviallyOptimal) {
+  const LinearProgram lp;
+  const LpSolution sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple identical constraints.
+  LinearProgram lp;
+  const int x = lp.add_variable(-1.0);
+  for (int i = 0; i < 5; ++i) lp.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 1.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsRowsNormalize) {
+  // -x <= -2  ==  x >= 2.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{x, -1.0}}, Sense::kLessEqual, -2.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 2.0, 1e-7);
+}
+
+// Property suite: random 2-variable LPs checked against exhaustive vertex
+// enumeration (intersections of all constraint/bound pairs).
+class RandomLp2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp2D, SimplexMatchesVertexEnumeration) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  LinearProgram lp;
+  const double c0 = rng.uniform(-5.0, 5.0);
+  const double c1 = rng.uniform(-5.0, 5.0);
+  const double ub0 = rng.uniform(1.0, 10.0);
+  const double ub1 = rng.uniform(1.0, 10.0);
+  const int x0 = lp.add_variable(c0, 0.0, ub0);
+  const int x1 = lp.add_variable(c1, 0.0, ub1);
+
+  struct Line {
+    double a0, a1, b;  // a0 x0 + a1 x1 <= b
+  };
+  std::vector<Line> lines;
+  const int num_rows = 2 + static_cast<int>(rng.uniform_index(4));
+  for (int r = 0; r < num_rows; ++r) {
+    Line line{rng.uniform(-2.0, 3.0), rng.uniform(-2.0, 3.0), rng.uniform(1.0, 12.0)};
+    lines.push_back(line);
+    lp.add_constraint({{x0, line.a0}, {x1, line.a1}}, Sense::kLessEqual, line.b);
+  }
+  // Bounds as lines for vertex enumeration.
+  lines.push_back({1.0, 0.0, ub0});
+  lines.push_back({0.0, 1.0, ub1});
+  lines.push_back({-1.0, 0.0, 0.0});
+  lines.push_back({0.0, -1.0, 0.0});
+
+  const auto feasible = [&](double v0, double v1) {
+    for (const Line& l : lines) {
+      if (l.a0 * v0 + l.a1 * v1 > l.b + 1e-7) return false;
+    }
+    return true;
+  };
+  double best = kInfinity;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a0 * lines[j].a1 - lines[j].a0 * lines[i].a1;
+      if (std::abs(det) < 1e-9) continue;
+      const double v0 = (lines[i].b * lines[j].a1 - lines[j].b * lines[i].a1) / det;
+      const double v1 = (lines[i].a0 * lines[j].b - lines[j].a0 * lines[i].b) / det;
+      if (feasible(v0, v1)) best = std::min(best, c0 * v0 + c1 * v1);
+    }
+  }
+
+  const LpSolution sol = solve_lp(lp);
+  if (best == kInfinity) {
+    EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(sol.objective, best, 1e-5) << "seed " << GetParam();
+    EXPECT_TRUE(lp.is_feasible(sol.values, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLp2D, ::testing::Range(0, 60));
+
+// Property suite: on larger random feasible LPs the simplex answer must be
+// feasible and no worse than any sampled feasible point.
+class RandomLpNd : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpNd, OptimumDominatesSampledFeasiblePoints) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const std::size_t n = 3 + rng.uniform_index(5);
+  LinearProgram lp;
+  std::vector<double> ub(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ub[i] = rng.uniform(0.5, 4.0);
+    lp.add_variable(rng.uniform(-3.0, 3.0), 0.0, ub[i]);
+  }
+  const std::size_t rows = 2 + rng.uniform_index(4);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t i = 0; i < n; ++i) {
+      terms.emplace_back(static_cast<int>(i), rng.uniform(0.0, 2.0));
+    }
+    lp.add_constraint(std::move(terms), Sense::kLessEqual, rng.uniform(2.0, 10.0));
+  }
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);  // origin is always feasible here
+  ASSERT_TRUE(lp.is_feasible(sol.values, 1e-5));
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> candidate(n);
+    for (std::size_t i = 0; i < n; ++i) candidate[i] = rng.uniform(0.0, ub[i]);
+    if (lp.is_feasible(candidate)) {
+      EXPECT_LE(sol.objective, lp.evaluate(candidate) + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpNd, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace carbonedge::solver

@@ -1,0 +1,187 @@
+#include "core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace carbonedge::core {
+namespace {
+
+struct Fixture {
+  sim::EdgeCluster cluster;
+  carbon::CarbonIntensityService carbon;
+  geo::LatencyMatrix latency;
+
+  explicit Fixture(sim::DeviceType device = sim::DeviceType::kA2)
+      : cluster(sim::make_uniform_cluster(geo::florida_region(), 1, device)) {
+    carbon.add_region(geo::florida_region());
+    latency = geo::LatencyMatrix(geo::LatencyModel{}, cluster.cities());
+  }
+
+  PlacementInput input(carbon::HourIndex now = 12) {
+    PlacementInput in;
+    in.cluster = &cluster;
+    in.latency = &latency;
+    in.carbon = &carbon;
+    in.now = now;
+    return in;
+  }
+};
+
+sim::Application app_at(std::size_t site, double rtt_limit = 20.0,
+                        sim::ModelType model = sim::ModelType::kResNet50) {
+  sim::Application app;
+  app.id = 100 + site;
+  app.model = model;
+  app.origin_site = site;
+  app.rps = 5.0;
+  app.latency_limit_rtt_ms = rtt_limit;
+  return app;
+}
+
+TEST(Policy, NamesAndDescribe) {
+  EXPECT_STREQ(to_string(PolicyKind::kCarbonEdge), "CarbonEdge");
+  EXPECT_STREQ(to_string(PolicyKind::kLatencyAware), "Latency-aware");
+  EXPECT_EQ(describe(PolicyConfig::multi_objective(0.25)), "Multi-objective(alpha=0.25)");
+  EXPECT_EQ(describe(PolicyConfig::carbon_edge()), "CarbonEdge");
+}
+
+TEST(BuildProblem, RequiresAllInputs) {
+  Fixture f;
+  PlacementInput bad;
+  const std::vector<sim::Application> apps = {app_at(0)};
+  EXPECT_THROW(build_problem(bad, apps, PolicyConfig::carbon_edge()), std::invalid_argument);
+}
+
+TEST(BuildProblem, DimensionsMatchClusterAndBatch) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(0), app_at(1)};
+  const BuiltProblem built = build_problem(f.input(), apps, PolicyConfig::carbon_edge());
+  EXPECT_EQ(built.problem.num_apps(), 2u);
+  EXPECT_EQ(built.problem.num_servers(), 5u);
+  EXPECT_EQ(built.problem.num_resources(), 2u);
+  EXPECT_EQ(built.servers.size(), 5u);
+}
+
+TEST(BuildProblem, LatencyFilterMarksDistantServersInfeasible) {
+  Fixture f;
+  // Very tight SLO: only the origin site qualifies.
+  const std::vector<sim::Application> apps = {app_at(1, /*rtt_limit=*/1.0)};
+  const BuiltProblem built = build_problem(f.input(), apps, PolicyConfig::carbon_edge());
+  for (std::size_t j = 0; j < 5; ++j) {
+    if (j == 1) {
+      EXPECT_TRUE(built.problem.feasible_pair(0, j));
+    } else {
+      EXPECT_FALSE(built.problem.feasible_pair(0, j));
+    }
+  }
+}
+
+TEST(BuildProblem, UnsupportedModelsAreInfeasible) {
+  Fixture f(sim::DeviceType::kA2);
+  const std::vector<sim::Application> apps = {
+      app_at(0, 20.0, sim::ModelType::kSciCpu)};  // CPU app on GPU-only cluster
+  const BuiltProblem built = build_problem(f.input(), apps, PolicyConfig::carbon_edge());
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_FALSE(built.problem.feasible_pair(0, j));
+}
+
+TEST(BuildProblem, CarbonCostIsEnergyTimesIntensity) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(0, 40.0)};
+  const BuiltProblem built = build_problem(f.input(7), apps, PolicyConfig::carbon_edge());
+  for (std::size_t j = 0; j < 5; ++j) {
+    if (!built.problem.feasible_pair(0, j)) continue;
+    const std::size_t cell = built.index(0, j);
+    EXPECT_NEAR(built.carbon_g[cell],
+                built.energy_wh[cell] / 1000.0 * built.mean_intensity[j], 1e-9);
+    EXPECT_NEAR(built.problem.cost(0, j), built.carbon_g[cell], 1e-12);
+  }
+}
+
+TEST(BuildProblem, MeanIntensityUsesForecastWindow) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(0, 40.0)};
+  PlacementInput in = f.input(100);
+  in.forecast_horizon_hours = 24;
+  const BuiltProblem built = build_problem(in, apps, PolicyConfig::carbon_edge());
+  const auto& trace = f.carbon.trace("Jacksonville");
+  EXPECT_NEAR(built.mean_intensity[0], trace.mean_over(100, 24), 1e-9);
+}
+
+TEST(BuildProblem, PolicyObjectivesDiffer) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(2, 40.0)};
+  const BuiltProblem latency = build_problem(f.input(), apps, PolicyConfig::latency_aware());
+  const BuiltProblem energy = build_problem(f.input(), apps, PolicyConfig::energy_aware());
+  const BuiltProblem intensity = build_problem(f.input(), apps, PolicyConfig::intensity_aware());
+  for (std::size_t j = 0; j < 5; ++j) {
+    if (!latency.problem.feasible_pair(0, j)) continue;
+    const std::size_t cell = latency.index(0, j);
+    EXPECT_NEAR(latency.problem.cost(0, j), latency.rtt_ms[cell], 1e-12);
+    EXPECT_NEAR(energy.problem.cost(0, j), energy.energy_wh[cell], 1e-12);
+    EXPECT_NEAR(intensity.problem.cost(0, j), intensity.mean_intensity[j], 1e-12);
+  }
+}
+
+TEST(BuildProblem, MultiObjectiveEndpointsMatchPureObjectives) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(0, 40.0), app_at(3, 40.0)};
+  const BuiltProblem alpha0 = build_problem(f.input(), apps, PolicyConfig::multi_objective(0.0));
+  const BuiltProblem alpha1 = build_problem(f.input(), apps, PolicyConfig::multi_objective(1.0));
+  // alpha=0 costs are normalized carbon: ordering matches carbon ordering.
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      for (std::size_t k = j + 1; k < 5; ++k) {
+        if (!alpha0.problem.feasible_pair(i, j) || !alpha0.problem.feasible_pair(i, k)) continue;
+        const bool carbon_less =
+            alpha0.carbon_g[alpha0.index(i, j)] < alpha0.carbon_g[alpha0.index(i, k)];
+        const bool cost_less = alpha0.problem.cost(i, j) < alpha0.problem.cost(i, k);
+        EXPECT_EQ(carbon_less, cost_less);
+        const bool energy_less =
+            alpha1.energy_wh[alpha1.index(i, j)] < alpha1.energy_wh[alpha1.index(i, k)];
+        const bool cost1_less = alpha1.problem.cost(i, j) < alpha1.problem.cost(i, k);
+        EXPECT_EQ(energy_less, cost1_less);
+      }
+    }
+  }
+}
+
+TEST(BuildProblem, ActivationCostsOnlyForOffServers) {
+  Fixture f;
+  f.cluster.sites()[2].servers()[0].set_powered_on(false);
+  const std::vector<sim::Application> apps = {app_at(0, 40.0)};
+  const BuiltProblem built = build_problem(f.input(), apps, PolicyConfig::carbon_edge());
+  for (std::size_t j = 0; j < 5; ++j) {
+    if (j == 2) {
+      EXPECT_GT(built.problem.activation_cost(j), 0.0);
+      EXPECT_FALSE(built.problem.initially_on(j));
+    } else {
+      EXPECT_DOUBLE_EQ(built.problem.activation_cost(j), 0.0);
+      EXPECT_TRUE(built.problem.initially_on(j));
+    }
+  }
+}
+
+TEST(BuildProblem, CapacitiesReflectCurrentLoad) {
+  Fixture f;
+  f.cluster.sites()[0].servers()[0].host({9, sim::ModelType::kYoloV4, 10.0});
+  const std::vector<sim::Application> apps = {app_at(0, 40.0)};
+  const BuiltProblem built = build_problem(f.input(), apps, PolicyConfig::carbon_edge());
+  EXPECT_LT(built.problem.capacity(0, 0), built.problem.capacity(1, 0));  // memory
+  EXPECT_LT(built.problem.capacity(0, 1), built.problem.capacity(1, 1));  // compute
+}
+
+TEST(BuildProblem, EnergyScalesWithEpochHours) {
+  Fixture f;
+  const std::vector<sim::Application> apps = {app_at(0, 40.0)};
+  PlacementInput in1 = f.input();
+  PlacementInput in2 = f.input();
+  in2.epoch_hours = 2.0;
+  const BuiltProblem b1 = build_problem(in1, apps, PolicyConfig::energy_aware());
+  const BuiltProblem b2 = build_problem(in2, apps, PolicyConfig::energy_aware());
+  const std::size_t cell = b1.index(0, 0);
+  EXPECT_NEAR(b2.energy_wh[cell], 2.0 * b1.energy_wh[cell], 1e-9);
+}
+
+}  // namespace
+}  // namespace carbonedge::core

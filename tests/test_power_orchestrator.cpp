@@ -1,0 +1,118 @@
+#include "core/orchestrator.hpp"
+#include "core/power_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::core {
+namespace {
+
+sim::EdgeCluster two_server_cluster() {
+  return sim::make_uniform_cluster(geo::florida_region(), 2, sim::DeviceType::kA2);
+}
+
+TEST(PowerManager, DisabledIsNoop) {
+  sim::EdgeCluster cluster = two_server_cluster();
+  PowerManager manager;  // disabled by default
+  EXPECT_EQ(manager.sweep(cluster), 0u);
+  for (auto& site : cluster.sites()) {
+    for (auto& server : site.servers()) EXPECT_TRUE(server.powered_on());
+  }
+}
+
+TEST(PowerManager, PowersOffIdleServersAboveFloor) {
+  sim::EdgeCluster cluster = two_server_cluster();
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.min_on_per_site = 1;
+  PowerManager manager(config);
+  const std::size_t off = manager.sweep(cluster);
+  EXPECT_EQ(off, cluster.size());  // one of two per site
+  for (auto& site : cluster.sites()) {
+    std::size_t on = 0;
+    for (auto& server : site.servers()) on += server.powered_on();
+    EXPECT_EQ(on, 1u);
+  }
+}
+
+TEST(PowerManager, NeverPowersOffBusyServers) {
+  sim::EdgeCluster cluster = two_server_cluster();
+  for (auto& site : cluster.sites()) {
+    for (auto& server : site.servers()) {
+      server.host({server.id() + 1000, sim::ModelType::kResNet50, 1.0});
+    }
+  }
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.min_on_per_site = 0;
+  PowerManager manager(config);
+  EXPECT_EQ(manager.sweep(cluster), 0u);
+}
+
+TEST(PowerManager, FloorOfZeroAllowsFullShutdownOfIdleSites) {
+  sim::EdgeCluster cluster = two_server_cluster();
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.min_on_per_site = 0;
+  PowerManager manager(config);
+  EXPECT_EQ(manager.sweep(cluster), cluster.size() * 2);
+}
+
+PlacementResult fake_placement(std::size_t count) {
+  PlacementResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    PlacementDecision d;
+    d.app = i;
+    d.site = i % 3;
+    d.server = 0;
+    d.rtt_ms = 4.0;
+    result.decisions.push_back(d);
+  }
+  return result;
+}
+
+TEST(Orchestrator, DeploysEveryDecision) {
+  Orchestrator orchestrator;
+  const auto deployments = orchestrator.deploy(fake_placement(5));
+  ASSERT_EQ(deployments.size(), 5u);
+  for (const Deployment& d : deployments) {
+    EXPECT_EQ(d.phase, DeployPhase::kRouted);
+    EXPECT_GT(d.latency_ms, 0.0);
+  }
+  EXPECT_EQ(orchestrator.total_deployed(), 5u);
+}
+
+TEST(Orchestrator, DeployLatencyIsAboutOneSecond) {
+  // Section 6.5 reports ~1.01 s to initiate an application deployment.
+  Orchestrator orchestrator;
+  orchestrator.deploy(fake_placement(50));
+  EXPECT_GT(orchestrator.mean_deploy_ms(), 600.0);
+  EXPECT_LT(orchestrator.mean_deploy_ms(), 1600.0);
+}
+
+TEST(Orchestrator, LatencyIncludesNetworkRtt) {
+  OrchestratorConfig config;
+  config.recipe_ms = 0.0;
+  config.image_pull_ms = 0.0;
+  config.start_ms = 0.0;
+  config.route_ms = 0.0;
+  Orchestrator orchestrator(config);
+  PlacementResult result = fake_placement(1);
+  result.decisions[0].rtt_ms = 12.5;
+  const auto deployments = orchestrator.deploy(result);
+  EXPECT_DOUBLE_EQ(deployments[0].latency_ms, 12.5);
+}
+
+TEST(Orchestrator, EmptyResultMeansNoDeployments) {
+  Orchestrator orchestrator;
+  EXPECT_TRUE(orchestrator.deploy(PlacementResult{}).empty());
+  EXPECT_DOUBLE_EQ(orchestrator.mean_deploy_ms(), 0.0);
+}
+
+TEST(Orchestrator, PhaseNames) {
+  EXPECT_STREQ(to_string(DeployPhase::kPending), "pending");
+  EXPECT_STREQ(to_string(DeployPhase::kRouted), "routed");
+  EXPECT_STREQ(to_string(DeployPhase::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace carbonedge::core

@@ -1,0 +1,91 @@
+#include "geo/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::geo {
+namespace {
+
+TEST(Region, FloridaMatchesFigure2a) {
+  const Region fl = florida_region();
+  EXPECT_EQ(fl.name, "Florida");
+  ASSERT_EQ(fl.cities.size(), 5u);
+  const auto cities = fl.resolve();
+  EXPECT_EQ(cities[0].name, "Jacksonville");
+  EXPECT_EQ(cities[4].name, "Tallahassee");
+}
+
+TEST(Region, AllMesoscaleRegionsHaveFiveZones) {
+  for (const Region& region : mesoscale_regions()) {
+    EXPECT_EQ(region.cities.size(), 5u) << region.name;
+  }
+}
+
+TEST(Region, CentralEuSharesMilanWithItaly) {
+  const auto italy = italy_region().resolve();
+  const auto eu = central_eu_region().resolve();
+  const auto has_milan = [](const std::vector<City>& cities) {
+    for (const City& c : cities) {
+      if (c.name == "Milan") return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_milan(italy));
+  EXPECT_TRUE(has_milan(eu));
+}
+
+TEST(Region, BoundsAreMesoscale) {
+  // Figure 2 annotates regions of roughly 650-1400 km extent.
+  for (const Region& region : mesoscale_regions()) {
+    const BoundingBox box = region.bounds();
+    EXPECT_GT(box.width_km() + box.height_km(), 300.0) << region.name;
+    EXPECT_LT(box.width_km(), 1600.0) << region.name;
+    EXPECT_LT(box.height_km(), 1600.0) << region.name;
+  }
+}
+
+TEST(Region, MacroRegionSpansFigure1Zones) {
+  const auto cities = macro_region().resolve();
+  ASSERT_EQ(cities.size(), 4u);
+  EXPECT_EQ(cities[0].name, "Toronto");
+  EXPECT_EQ(cities[3].name, "Warsaw");
+}
+
+TEST(CdnRegion, UsExcludesCanadaAndIsPopulationSorted) {
+  const Region us = cdn_region(Continent::kNorthAmerica);
+  const auto cities = us.resolve();
+  ASSERT_GT(cities.size(), 30u);
+  for (const City& c : cities) EXPECT_EQ(c.country, "US") << c.name;
+  for (std::size_t i = 1; i < cities.size(); ++i) {
+    EXPECT_GE(cities[i - 1].population_k, cities[i].population_k);
+  }
+}
+
+TEST(CdnRegion, EuropeIncludesMultipleCountries) {
+  const Region eu = cdn_region(Continent::kEurope);
+  const auto cities = eu.resolve();
+  ASSERT_GT(cities.size(), 30u);
+  bool has_no = false;
+  bool has_pl = false;
+  for (const City& c : cities) {
+    has_no |= c.country == "NO";
+    has_pl |= c.country == "PL";
+  }
+  EXPECT_TRUE(has_no);
+  EXPECT_TRUE(has_pl);
+}
+
+TEST(CdnRegion, MaxSitesTruncatesByPopulation) {
+  const Region top10 = cdn_region(Continent::kEurope, 10);
+  ASSERT_EQ(top10.cities.size(), 10u);
+  const Region all = cdn_region(Continent::kEurope);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(top10.cities[i], all.cities[i]);
+}
+
+TEST(CdnRegion, ZeroMeansAllSites) {
+  const Region all = cdn_region(Continent::kNorthAmerica, 0);
+  const Region capped = cdn_region(Continent::kNorthAmerica, 10'000);
+  EXPECT_EQ(all.cities.size(), capped.cities.size());
+}
+
+}  // namespace
+}  // namespace carbonedge::geo

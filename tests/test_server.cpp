@@ -1,0 +1,121 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::sim {
+namespace {
+
+ServerConfig a2_config() {
+  ServerConfig config;
+  config.name = "test/a2";
+  config.device = DeviceType::kA2;
+  return config;
+}
+
+TEST(Server, DefaultBasePowerDerivedFromDevice) {
+  const EdgeServer server(0, a2_config());
+  EXPECT_GT(server.config().base_power_w, device_profile(DeviceType::kA2).idle_power_w);
+}
+
+TEST(Server, InvalidUtilizationThrows) {
+  ServerConfig config = a2_config();
+  config.max_utilization = 0.0;
+  EXPECT_THROW(EdgeServer(0, config), std::invalid_argument);
+  config.max_utilization = 1.5;
+  EXPECT_THROW(EdgeServer(0, config), std::invalid_argument);
+}
+
+TEST(Server, HostUpdatesCapacities) {
+  EdgeServer server(0, a2_config());
+  const double mem_before = server.memory_free_mb();
+  const double cpu_before = server.compute_free();
+  server.host({1, ModelType::kResNet50, 5.0});
+  EXPECT_LT(server.memory_free_mb(), mem_before);
+  EXPECT_LT(server.compute_free(), cpu_before);
+  EXPECT_EQ(server.app_count(), 1u);
+}
+
+TEST(Server, EvictRestoresCapacities) {
+  EdgeServer server(0, a2_config());
+  server.host({1, ModelType::kResNet50, 5.0});
+  server.host({2, ModelType::kYoloV4, 2.0});
+  EXPECT_TRUE(server.evict(1));
+  EXPECT_FALSE(server.evict(1));  // already gone
+  EXPECT_EQ(server.app_count(), 1u);
+  server.evict(2);
+  EXPECT_NEAR(server.memory_used_mb(), 0.0, 1e-9);
+  EXPECT_NEAR(server.compute_used(), 0.0, 1e-9);
+}
+
+TEST(Server, CanHostRespectsMemory) {
+  EdgeServer server(0, a2_config());
+  // Fill memory with YOLOv4 instances (498 MB each on A2, 16 GB total),
+  // at negligible compute load.
+  int hosted = 0;
+  while (server.can_host(ModelType::kYoloV4, 0.1)) {
+    server.host({static_cast<AppId>(hosted), ModelType::kYoloV4, 0.1});
+    ++hosted;
+  }
+  EXPECT_GT(hosted, 5);
+  EXPECT_LT(server.memory_free_mb(),
+            require_profile(ModelType::kYoloV4, DeviceType::kA2).memory_mb);
+}
+
+TEST(Server, CanHostRespectsCompute) {
+  EdgeServer server(0, a2_config());
+  // One huge-rate app saturates compute long before memory.
+  EXPECT_FALSE(server.can_host(ModelType::kYoloV4, 1e6));
+  EXPECT_TRUE(server.can_host(ModelType::kYoloV4, 1.0));
+}
+
+TEST(Server, CanHostRejectsUnsupportedModel) {
+  const EdgeServer server(0, a2_config());
+  EXPECT_FALSE(server.can_host(ModelType::kSciCpu, 1.0));
+}
+
+TEST(Server, HostWhenFullThrows) {
+  EdgeServer server(0, a2_config());
+  EXPECT_THROW(server.host({1, ModelType::kYoloV4, 1e6}), std::runtime_error);
+}
+
+TEST(Server, PowerStateRules) {
+  EdgeServer server(0, a2_config());
+  server.host({1, ModelType::kResNet50, 2.0});
+  EXPECT_THROW(server.set_powered_on(false), std::runtime_error);  // hosted apps
+  server.evict(1);
+  server.set_powered_on(false);
+  EXPECT_FALSE(server.powered_on());
+  EXPECT_DOUBLE_EQ(server.power_draw_w(), 0.0);
+  EXPECT_THROW(server.host({2, ModelType::kResNet50, 2.0}), std::runtime_error);
+  server.set_powered_on(true);
+  EXPECT_NO_THROW(server.host({2, ModelType::kResNet50, 2.0}));
+}
+
+TEST(Server, PowerModelIsBasePlusDynamic) {
+  EdgeServer server(0, a2_config());
+  const double base = server.power_draw_w();
+  EXPECT_DOUBLE_EQ(base, server.config().base_power_w);
+  server.host({1, ModelType::kResNet50, 10.0});
+  const double expected_dynamic =
+      require_profile(ModelType::kResNet50, DeviceType::kA2).energy_j * 10.0;
+  EXPECT_NEAR(server.power_draw_w(), base + expected_dynamic, 1e-9);
+  EXPECT_NEAR(server.dynamic_power_w(), expected_dynamic, 1e-9);
+}
+
+TEST(Server, EnergyScalesWithTime) {
+  EdgeServer server(0, a2_config());
+  server.host({1, ModelType::kEfficientNetB0, 4.0});
+  EXPECT_NEAR(server.energy_wh(2.0), 2.0 * server.power_draw_w(), 1e-9);
+}
+
+TEST(Server, ServiceLatencyGrowsWithLoad) {
+  EdgeServer server(0, a2_config());
+  const double idle_ms = server.mean_service_ms(ModelType::kResNet50);
+  EXPECT_NEAR(idle_ms, require_profile(ModelType::kResNet50, DeviceType::kA2).inference_ms,
+              1e-9);
+  server.host({1, ModelType::kResNet50, 60.0});
+  EXPECT_GT(server.mean_service_ms(ModelType::kResNet50), idle_ms);
+}
+
+}  // namespace
+}  // namespace carbonedge::sim

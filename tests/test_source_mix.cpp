@@ -1,0 +1,108 @@
+#include "carbon/mix.hpp"
+#include "carbon/source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::carbon {
+namespace {
+
+TEST(EnergySource, IntensitiesOrderedByCleanliness) {
+  EXPECT_LT(carbon_intensity_g_per_kwh(EnergySource::kWind),
+            carbon_intensity_g_per_kwh(EnergySource::kSolar));
+  EXPECT_LT(carbon_intensity_g_per_kwh(EnergySource::kNuclear),
+            carbon_intensity_g_per_kwh(EnergySource::kHydro));
+  EXPECT_LT(carbon_intensity_g_per_kwh(EnergySource::kGas),
+            carbon_intensity_g_per_kwh(EnergySource::kCoal));
+  EXPECT_LT(carbon_intensity_g_per_kwh(EnergySource::kGas),
+            carbon_intensity_g_per_kwh(EnergySource::kOil));
+}
+
+TEST(EnergySource, DispatchabilityClassification) {
+  EXPECT_TRUE(is_dispatchable(EnergySource::kGas));
+  EXPECT_TRUE(is_dispatchable(EnergySource::kCoal));
+  EXPECT_TRUE(is_dispatchable(EnergySource::kOil));
+  EXPECT_TRUE(is_dispatchable(EnergySource::kBiomass));
+  EXPECT_FALSE(is_dispatchable(EnergySource::kSolar));
+  EXPECT_FALSE(is_dispatchable(EnergySource::kWind));
+  EXPECT_FALSE(is_dispatchable(EnergySource::kHydro));
+  EXPECT_FALSE(is_dispatchable(EnergySource::kNuclear));
+}
+
+TEST(EnergySource, NamesRoundTrip) {
+  for (const EnergySource s : kAllSources) {
+    EXPECT_NE(to_string(s), "?");
+  }
+}
+
+TEST(GenerationMix, DefaultIsEmpty) {
+  const GenerationMix mix;
+  EXPECT_DOUBLE_EQ(mix.total(), 0.0);
+  EXPECT_DOUBLE_EQ(mix.carbon_intensity(), 0.0);
+  EXPECT_DOUBLE_EQ(mix.low_carbon_share(), 0.0);
+}
+
+TEST(GenerationMix, SetAndAddAccumulate) {
+  GenerationMix mix;
+  mix.set(EnergySource::kGas, 0.4);
+  mix.add(EnergySource::kGas, 0.1);
+  EXPECT_DOUBLE_EQ(mix.at(EnergySource::kGas), 0.5);
+}
+
+TEST(GenerationMix, NegativeValuesClampToZero) {
+  GenerationMix mix;
+  mix.set(EnergySource::kCoal, -3.0);
+  EXPECT_DOUBLE_EQ(mix.at(EnergySource::kCoal), 0.0);
+}
+
+TEST(GenerationMix, NormalizeSumsToOne) {
+  GenerationMix mix = make_mix({{EnergySource::kGas, 2.0}, {EnergySource::kWind, 2.0}});
+  mix.normalize();
+  EXPECT_DOUBLE_EQ(mix.total(), 1.0);
+  EXPECT_DOUBLE_EQ(mix.at(EnergySource::kGas), 0.5);
+}
+
+TEST(GenerationMix, NormalizeEmptyIsNoop) {
+  GenerationMix mix;
+  mix.normalize();
+  EXPECT_DOUBLE_EQ(mix.total(), 0.0);
+}
+
+TEST(GenerationMix, CarbonIntensityIsWeightedAverage) {
+  const GenerationMix mix =
+      make_mix({{EnergySource::kCoal, 0.5}, {EnergySource::kWind, 0.5}});
+  const double expected = 0.5 * 820.0 + 0.5 * 11.0;
+  EXPECT_NEAR(mix.carbon_intensity(), expected, 1e-9);
+}
+
+TEST(GenerationMix, CarbonIntensityScaleInvariant) {
+  const GenerationMix small =
+      make_mix({{EnergySource::kGas, 0.2}, {EnergySource::kHydro, 0.3}});
+  const GenerationMix large =
+      make_mix({{EnergySource::kGas, 2.0}, {EnergySource::kHydro, 3.0}});
+  EXPECT_NEAR(small.carbon_intensity(), large.carbon_intensity(), 1e-9);
+}
+
+TEST(GenerationMix, PureSourceBounds) {
+  for (const EnergySource s : kAllSources) {
+    const GenerationMix mix = make_mix({{s, 1.0}});
+    EXPECT_DOUBLE_EQ(mix.carbon_intensity(), carbon_intensity_g_per_kwh(s));
+  }
+}
+
+TEST(GenerationMix, LowCarbonShare) {
+  const GenerationMix mix = make_mix({{EnergySource::kHydro, 0.3},
+                                      {EnergySource::kNuclear, 0.3},
+                                      {EnergySource::kCoal, 0.4}});
+  EXPECT_NEAR(mix.low_carbon_share(), 0.6, 1e-9);
+}
+
+TEST(GenerationMix, EqualityComparesShares) {
+  const GenerationMix a = make_mix({{EnergySource::kGas, 0.5}});
+  const GenerationMix b = make_mix({{EnergySource::kGas, 0.5}});
+  const GenerationMix c = make_mix({{EnergySource::kGas, 0.6}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace carbonedge::carbon

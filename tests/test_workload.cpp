@@ -1,0 +1,146 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/region.hpp"
+
+namespace carbonedge::sim {
+namespace {
+
+EdgeCluster florida_cluster() {
+  return make_uniform_cluster(geo::florida_region(), 1, DeviceType::kA2);
+}
+
+TEST(Workload, EmptyClusterThrows) {
+  geo::Region empty;
+  empty.name = "empty";
+  EdgeCluster cluster(empty);
+  EXPECT_THROW(WorkloadGenerator(WorkloadParams{}, cluster), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.seed = 123;
+  WorkloadGenerator a(params, cluster);
+  WorkloadGenerator b(params, cluster);
+  for (std::uint32_t e = 0; e < 5; ++e) {
+    const auto x = a.arrivals(e);
+    const auto y = b.arrivals(e);
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].model, y[i].model);
+      EXPECT_EQ(x[i].origin_site, y[i].origin_site);
+      EXPECT_DOUBLE_EQ(x[i].rps, y[i].rps);
+    }
+  }
+}
+
+TEST(Workload, AppIdsAreUnique) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadGenerator gen(WorkloadParams{}, cluster);
+  std::set<AppId> ids;
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    for (const Application& app : gen.arrivals(e)) {
+      EXPECT_TRUE(ids.insert(app.id).second);
+    }
+  }
+}
+
+TEST(Workload, ArrivalVolumeMatchesRate) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.arrivals_per_site = 3.0;
+  WorkloadGenerator gen(params, cluster);
+  double total = 0.0;
+  const int epochs = 400;
+  for (int e = 0; e < epochs; ++e) total += static_cast<double>(gen.arrivals(e).size());
+  const double per_epoch = total / epochs;
+  EXPECT_NEAR(per_epoch, 3.0 * 5.0, 1.5);
+}
+
+TEST(Workload, FieldsWithinConfiguredRanges) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.min_rps = 2.0;
+  params.max_rps = 4.0;
+  params.latency_limit_rtt_ms = 15.0;
+  params.model_weights = {1.0, 1.0, 0.0, 0.0};
+  WorkloadGenerator gen(params, cluster);
+  for (std::uint32_t e = 0; e < 50; ++e) {
+    for (const Application& app : gen.arrivals(e)) {
+      EXPECT_GE(app.rps, 2.0);
+      EXPECT_LT(app.rps, 4.0);
+      EXPECT_DOUBLE_EQ(app.latency_limit_rtt_ms, 15.0);
+      EXPECT_TRUE(app.model == ModelType::kEfficientNetB0 || app.model == ModelType::kResNet50);
+      EXPECT_LT(app.origin_site, cluster.size());
+      EXPECT_GE(app.remaining_epochs, 1u);
+    }
+  }
+}
+
+TEST(Workload, PopulationDemandSkewsTowardLargeMetros) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.demand = DemandDistribution::kPopulation;
+  params.arrivals_per_site = 2.0;
+  WorkloadGenerator gen(params, cluster);
+  std::vector<double> per_site(cluster.size(), 0.0);
+  for (std::uint32_t e = 0; e < 500; ++e) {
+    for (const Application& app : gen.arrivals(e)) per_site[app.origin_site] += 1.0;
+  }
+  // Site 1 is Miami (6.1M), site 4 Tallahassee (0.39M).
+  EXPECT_GT(per_site[1], 5.0 * per_site[4]);
+}
+
+TEST(Workload, PopulationDemandPreservesTotalVolume) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams uniform;
+  uniform.arrivals_per_site = 2.0;
+  WorkloadParams population = uniform;
+  population.demand = DemandDistribution::kPopulation;
+  WorkloadGenerator gu(uniform, cluster);
+  WorkloadGenerator gp(population, cluster);
+  double total_u = 0.0;
+  double total_p = 0.0;
+  for (std::uint32_t e = 0; e < 600; ++e) {
+    total_u += static_cast<double>(gu.arrivals(e).size());
+    total_p += static_cast<double>(gp.arrivals(e).size());
+  }
+  EXPECT_NEAR(total_p / total_u, 1.0, 0.1);
+}
+
+TEST(Workload, InitialAppsInjectedAtEpochZeroOnly) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.arrivals_per_site = 0.0;
+  params.initial_per_site = 2;
+  WorkloadGenerator gen(params, cluster);
+  const auto first = gen.arrivals(0);
+  EXPECT_EQ(first.size(), 2u * cluster.size());
+  for (const Application& app : first) {
+    EXPECT_GE(app.remaining_epochs, 1000000u);  // long-lived
+  }
+  EXPECT_TRUE(gen.arrivals(1).empty());
+}
+
+TEST(Workload, BatchProducesExactCount) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadGenerator gen(WorkloadParams{}, cluster);
+  const auto batch = gen.batch(37);
+  EXPECT_EQ(batch.size(), 37u);
+}
+
+TEST(Workload, LifetimeMeanApproximatesConfig) {
+  EdgeCluster cluster = florida_cluster();
+  WorkloadParams params;
+  params.mean_lifetime_epochs = 10.0;
+  WorkloadGenerator gen(params, cluster);
+  double total = 0.0;
+  const auto batch = gen.batch(4000);
+  for (const Application& app : batch) total += static_cast<double>(app.remaining_epochs);
+  EXPECT_NEAR(total / 4000.0, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace carbonedge::sim
