@@ -5,33 +5,28 @@
 // resources it exploits efficiency x intensity x speed jointly (98.4%, 79%,
 // 63% lower than Latency-/Intensity-/Energy-aware); carbon-first placement
 // costs energy vs Energy-aware.
+//
+// Expressed as a ScenarioGrid (device mixes x policies) dispatched across
+// all cores by the ScenarioRunner; the 16 cells run concurrently and the
+// tables are rebuilt from the row-major outcome order.
 #include "bench_util.hpp"
+
+#include "runner/scenario_runner.hpp"
 
 using namespace carbonedge;
 
 int main() {
   bench::print_header("Figure 15", "Heterogeneous resources x policies");
 
-  const geo::Region region = geo::central_eu_region();
-  const auto service = bench::make_service(region);
   const auto policies = bench::evaluation_policies();
 
-  util::Table carbon_table({"Cluster", "Latency-aware (g)", "Energy-aware (g)",
-                            "Intensity-aware (g)", "CarbonEdge (g)"});
-  carbon_table.set_title("Figure 15a: carbon emissions (24h, model mix)");
-  util::Table energy_table({"Cluster", "Latency-aware (Wh)", "Energy-aware (Wh)",
-                            "Intensity-aware (Wh)", "CarbonEdge (Wh)"});
-  energy_table.set_title("Figure 15b: energy consumption");
-
-  struct Scenario {
-    std::string name;
-    std::vector<sim::DeviceType> devices;
-  };
-  const std::vector<Scenario> scenarios = {
-      {"Orin Nano", {sim::DeviceType::kOrinNano}},
-      {"A2", {sim::DeviceType::kA2}},
-      {"GTX 1080", {sim::DeviceType::kGtx1080}},
-      {"Hetero.", {sim::DeviceType::kOrinNano, sim::DeviceType::kA2, sim::DeviceType::kGtx1080}},
+  const std::vector<runner::DeviceMix> mixes = {
+      {"Orin Nano", {sim::DeviceType::kOrinNano}, 3},
+      {"A2", {sim::DeviceType::kA2}, 3},
+      {"GTX 1080", {sim::DeviceType::kGtx1080}, 3},
+      {"Hetero.",
+       {sim::DeviceType::kOrinNano, sim::DeviceType::kA2, sim::DeviceType::kGtx1080},
+       3},
   };
 
   core::SimulationConfig config;
@@ -41,21 +36,32 @@ int main() {
   config.workload.mean_lifetime_epochs = 10.0;
   config.workload.latency_limit_rtt_ms = 25.0;
 
+  runner::ScenarioGrid grid(config);
+  grid.with_regions({geo::central_eu_region()}).with_device_mixes(mixes).with_policies(policies);
+
+  const runner::ScenarioRunner sweep;
+  const auto outcomes = sweep.run(grid);
+
+  util::Table carbon_table({"Cluster", "Latency-aware (g)", "Energy-aware (g)",
+                            "Intensity-aware (g)", "CarbonEdge (g)"});
+  carbon_table.set_title("Figure 15a: carbon emissions (24h, model mix)");
+  util::Table energy_table({"Cluster", "Latency-aware (Wh)", "Energy-aware (Wh)",
+                            "Intensity-aware (Wh)", "CarbonEdge (Wh)"});
+  energy_table.set_title("Figure 15b: energy consumption");
+
   double hetero_latency_aware = 0.0;
   double hetero_carbon_edge = 0.0;
-  for (const Scenario& scenario : scenarios) {
-    core::EdgeSimulation simulation(sim::make_hetero_cluster(region, 3, scenario.devices),
-                                    service);
-    const auto results = core::run_policies(simulation, config, policies);
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
     std::vector<double> carbon_row;
     std::vector<double> energy_row;
-    for (const auto& result : results) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& result = outcomes[m * policies.size() + p].result;
       carbon_row.push_back(result.telemetry.total_carbon_g());
       energy_row.push_back(result.telemetry.total_energy_wh());
     }
-    carbon_table.add_row(scenario.name, carbon_row, 1);
-    energy_table.add_row(scenario.name, energy_row, 1);
-    if (scenario.name == "Hetero.") {
+    carbon_table.add_row(mixes[m].name, carbon_row, 1);
+    energy_table.add_row(mixes[m].name, energy_row, 1);
+    if (mixes[m].name == "Hetero.") {
       hetero_latency_aware = carbon_row[0];
       hetero_carbon_edge = carbon_row[3];
     }
@@ -64,7 +70,7 @@ int main() {
   energy_table.print(std::cout);
   bench::print_takeaway("Hetero cluster: CarbonEdge emits " +
                         util::format_percent(1.0 - hetero_carbon_edge /
-                                                        std::max(hetero_latency_aware, 1e-9)) +
+                                                       std::max(hetero_latency_aware, 1e-9)) +
                         " less than Latency-aware (paper: 98.4%); energy-efficient hardware "
                         "alone is not enough - intensity and speed interact.");
   return 0;

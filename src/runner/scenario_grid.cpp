@@ -1,0 +1,147 @@
+#include "runner/scenario_grid.hpp"
+
+#include <utility>
+
+#include "core/policy.hpp"
+
+namespace carbonedge::runner {
+
+namespace {
+
+// Region used when the axis is unset: the smallest mesoscale geography
+// (five Florida zones), so a default grid stays cheap to run.
+geo::Region default_region() { return geo::florida_region(); }
+
+std::size_t axis_size(std::size_t n) { return n == 0 ? 1 : n; }
+
+void append_label(std::string& label, const std::string& part) {
+  if (!label.empty()) label += " | ";
+  label += part;
+}
+
+}  // namespace
+
+ScenarioGrid& ScenarioGrid::with_policies(std::vector<core::PolicyConfig> policies) {
+  policies_ = std::move(policies);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_regions(std::vector<geo::Region> regions) {
+  regions_ = std::move(regions);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_device_mixes(std::vector<DeviceMix> mixes) {
+  mixes_ = std::move(mixes);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_epochs(std::vector<std::uint32_t> epochs) {
+  epochs_ = std::move(epochs);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_migrations(std::vector<MigrationSpec> migrations) {
+  migrations_ = std::move(migrations);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_failures(std::vector<FailureSpec> failures) {
+  failures_ = std::move(failures);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_workload_seeds(std::vector<std::uint64_t> seeds) {
+  seeds_ = std::move(seeds);
+  return *this;
+}
+
+std::size_t ScenarioGrid::size() const noexcept {
+  return axis_size(regions_.size()) * axis_size(mixes_.size()) * axis_size(policies_.size()) *
+         axis_size(epochs_.size()) * axis_size(migrations_.size()) *
+         axis_size(failures_.size()) * axis_size(seeds_.size());
+}
+
+std::vector<Scenario> ScenarioGrid::expand() const {
+  const std::vector<geo::Region> regions =
+      regions_.empty() ? std::vector<geo::Region>{default_region()} : regions_;
+  const std::vector<DeviceMix> mixes = mixes_.empty() ? std::vector<DeviceMix>{DeviceMix{}} : mixes_;
+
+  // Distinct regions can share a display name (e.g. cdn_region truncations);
+  // disambiguate their labels so summarize() rows stay distinguishable:
+  // first by site count, then by axis ordinal if name and count both clash.
+  std::vector<std::string> region_labels;
+  region_labels.reserve(regions.size());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    std::string label = regions[r].name;
+    for (std::size_t other = 0; other < regions.size(); ++other) {
+      if (other != r && regions[other].name == regions[r].name) {
+        label += " (" + std::to_string(regions[r].cities.size()) + " sites)";
+        break;
+      }
+    }
+    region_labels.push_back(std::move(label));
+  }
+  for (std::size_t r = 0; r < region_labels.size(); ++r) {
+    for (std::size_t other = 0; other < r; ++other) {
+      if (region_labels[other] == region_labels[r]) {
+        region_labels[r] += " #" + std::to_string(r + 1);
+        break;
+      }
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(size());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const geo::Region& region = regions[r];
+    for (const DeviceMix& mix : mixes) {
+      for (std::size_t p = 0; p < axis_size(policies_.size()); ++p) {
+        for (std::size_t e = 0; e < axis_size(epochs_.size()); ++e) {
+          for (std::size_t m = 0; m < axis_size(migrations_.size()); ++m) {
+            for (std::size_t f = 0; f < axis_size(failures_.size()); ++f) {
+              for (std::size_t s = 0; s < axis_size(seeds_.size()); ++s) {
+                Scenario scenario;
+                scenario.index = scenarios.size();
+                scenario.region = region;
+                scenario.mix = mix;
+                scenario.config = base_;
+                if (!policies_.empty()) scenario.config.policy = policies_[p];
+                if (!epochs_.empty()) scenario.config.epochs = epochs_[e];
+                if (!migrations_.empty()) {
+                  scenario.config.reoptimize_every = migrations_[m].reoptimize_every;
+                  scenario.config.migration = migrations_[m].migration;
+                }
+                if (!failures_.empty()) scenario.config.failures = failures_[f].failures;
+                if (!seeds_.empty()) scenario.config.workload.seed = seeds_[s];
+
+                std::string label;
+                if (!regions_.empty()) append_label(label, "region=" + region_labels[r]);
+                if (!mixes_.empty()) append_label(label, "mix=" + mix.name);
+                if (!policies_.empty()) {
+                  append_label(label, "policy=" + core::describe(scenario.config.policy));
+                }
+                if (!epochs_.empty()) {
+                  append_label(label, "epochs=" + std::to_string(scenario.config.epochs));
+                }
+                if (!migrations_.empty()) {
+                  append_label(label, "migration=" + migrations_[m].name);
+                }
+                if (!failures_.empty()) append_label(label, "failures=" + failures_[f].name);
+                if (!seeds_.empty()) {
+                  append_label(label, "seed=" + std::to_string(scenario.config.workload.seed));
+                }
+                if (label.empty()) label = "default";
+                scenario.label = std::move(label);
+                scenarios.push_back(std::move(scenario));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+}  // namespace carbonedge::runner

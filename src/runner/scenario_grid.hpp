@@ -1,0 +1,92 @@
+// Scenario grids: a cartesian product of SimulationConfig axes.
+//
+// Every evaluation in the paper is "run EdgeSimulation::run over some set of
+// {policy, region, hardware mix, horizon, migration/failure knobs} cells and
+// tabulate" — the benches used to hand-roll those nested loops serially.
+// A ScenarioGrid declares the axes once; expand() materializes one fully-
+// resolved Scenario per cell in a deterministic row-major order, ready to be
+// dispatched in parallel by the ScenarioRunner (scenario_runner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "sim/datacenter.hpp"
+
+namespace carbonedge::runner {
+
+/// One hardware-mix axis value: sites cycle deterministically through
+/// `devices` (a single entry yields a homogeneous cluster).
+struct DeviceMix {
+  std::string name = "A2";
+  std::vector<sim::DeviceType> devices = {sim::DeviceType::kA2};
+  std::size_t servers_per_site = 1;
+};
+
+/// One migration-strategy axis value (re-optimization cadence + data-
+/// movement cost model, core/simulation.hpp).
+struct MigrationSpec {
+  std::string name = "sticky";
+  std::uint32_t reoptimize_every = 0;
+  core::MigrationConfig migration{};
+};
+
+/// One failure-injection axis value.
+struct FailureSpec {
+  std::string name = "none";
+  core::FailureConfig failures{};
+};
+
+/// A fully-materialized grid cell: everything a worker needs to build the
+/// cluster, run the simulation, and label the result row.
+struct Scenario {
+  std::size_t index = 0;  // position in the grid's row-major expansion
+  std::string label;      // human-readable axis coordinates
+  geo::Region region;
+  DeviceMix mix;
+  core::SimulationConfig config;
+};
+
+/// Declarative cartesian grid over simulation axes. Axes left unset
+/// contribute a single cell carrying the base config's value, so a default-
+/// constructed grid expands to exactly one default scenario. Expansion is
+/// row-major in declaration order: region (outermost), device mix, policy,
+/// epochs, migration, failures, workload seed (innermost) — benches relying
+/// on positional indexing (e.g. pivot tables) can count on it.
+class ScenarioGrid {
+ public:
+  ScenarioGrid() = default;
+  /// `base` seeds every cell; axes override individual fields.
+  explicit ScenarioGrid(core::SimulationConfig base) : base_(std::move(base)) {}
+
+  ScenarioGrid& with_policies(std::vector<core::PolicyConfig> policies);
+  ScenarioGrid& with_regions(std::vector<geo::Region> regions);
+  ScenarioGrid& with_device_mixes(std::vector<DeviceMix> mixes);
+  ScenarioGrid& with_epochs(std::vector<std::uint32_t> epochs);
+  ScenarioGrid& with_migrations(std::vector<MigrationSpec> migrations);
+  ScenarioGrid& with_failures(std::vector<FailureSpec> failures);
+  ScenarioGrid& with_workload_seeds(std::vector<std::uint64_t> seeds);
+
+  /// Grid cardinality: the product of max(1, |axis|) over all axes.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Materialize every cell (size() scenarios, labels and indices set).
+  [[nodiscard]] std::vector<Scenario> expand() const;
+
+  [[nodiscard]] const core::SimulationConfig& base() const noexcept { return base_; }
+
+ private:
+  core::SimulationConfig base_{};
+  std::vector<core::PolicyConfig> policies_;
+  std::vector<geo::Region> regions_;
+  std::vector<DeviceMix> mixes_;
+  std::vector<std::uint32_t> epochs_;
+  std::vector<MigrationSpec> migrations_;
+  std::vector<FailureSpec> failures_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace carbonedge::runner

@@ -1,0 +1,97 @@
+#include "runner/scenario_runner.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "carbon/service.hpp"
+#include "core/simulation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace carbonedge::runner {
+
+namespace {
+
+sim::EdgeCluster build_cluster(const Scenario& scenario) {
+  // A single-device mix cycles trivially, so make_hetero_cluster covers the
+  // homogeneous case too.
+  return sim::make_hetero_cluster(scenario.region, scenario.mix.servers_per_site,
+                                  scenario.mix.devices);
+}
+
+// Distinct Region values can share a display name (e.g. cdn_region with
+// different site counts both yield "CDN Europe"), so service dedup must key
+// on the full identity: name plus the exact city list.
+std::string region_key(const geo::Region& region) {
+  std::string key = region.name;
+  for (const geo::CityId city : region.cities) {
+    key += '|';
+    key += std::to_string(city);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<ScenarioOutcome> ScenarioRunner::run(const ScenarioGrid& grid) const {
+  return run(grid.expand());
+}
+
+std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios) const {
+  if (scenarios.empty()) return {};
+
+  // Synthesize each distinct region's traces once, serially, before any
+  // worker starts: services are then only read (const) concurrently. Each
+  // scenario's service pointer is resolved here too, keeping key building
+  // and map lookups off the dispatch path.
+  std::map<std::string, std::unique_ptr<carbon::CarbonIntensityService>> services;
+  std::vector<const carbon::CarbonIntensityService*> cell_services;
+  cell_services.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    auto& slot = services[region_key(scenario.region)];
+    if (!slot) {
+      slot = std::make_unique<carbon::CarbonIntensityService>();
+      slot->add_region(scenario.region);
+    }
+    cell_services.push_back(slot.get());
+  }
+
+  std::vector<core::SimulationResult> slots(scenarios.size());
+  const auto body = [&](std::size_t i) {
+    core::EdgeSimulation simulation(build_cluster(scenarios[i]), *cell_services[i]);
+    slots[i] = simulation.run(scenarios[i].config);
+  };
+  if (options_.threads == 0) {
+    // Default thread count: reuse the process-wide pool instead of paying
+    // pool construction/teardown on every sweep.
+    util::parallel_for(util::global_pool(), 0, scenarios.size(), body, /*chunk=*/1);
+  } else {
+    util::ThreadPool pool(options_.threads);
+    util::parallel_for(pool, 0, scenarios.size(), body, /*chunk=*/1);
+  }
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    outcomes.push_back(ScenarioOutcome{std::move(scenarios[i]), std::move(slots[i])});
+  }
+  return outcomes;
+}
+
+util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcomes) {
+  util::Table table({"Scenario", "Carbon (kg)", "Energy (kWh)", "Mean RTT (ms)", "Placed",
+                     "Rejected", "Migrations", "Skipped", "Failures"});
+  for (const ScenarioOutcome& outcome : outcomes) {
+    const core::SimulationResult& r = outcome.result;
+    table.add_row({outcome.scenario.label, util::format_fixed(r.telemetry.total_carbon_kg(), 3),
+                   util::format_fixed(r.telemetry.total_energy_wh() / 1e3, 3),
+                   util::format_fixed(r.telemetry.mean_rtt_ms(), 2),
+                   std::to_string(r.apps_placed), std::to_string(r.apps_rejected),
+                   std::to_string(r.migrations), std::to_string(r.migrations_skipped),
+                   std::to_string(r.server_failures)});
+  }
+  return table;
+}
+
+}  // namespace carbonedge::runner

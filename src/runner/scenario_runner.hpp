@@ -1,0 +1,55 @@
+// Parallel scenario-sweep runner.
+//
+// Expands a ScenarioGrid and dispatches one EdgeSimulation::run per cell
+// onto a util::ThreadPool. Every task writes into its own pre-sized result
+// slot (no locks, no shared mutable state: each cell builds its own cluster
+// and simulation; carbon services are synthesized once per distinct region
+// before dispatch and only read concurrently), so the aggregate is
+// bit-identical no matter how many workers execute it — run(grid) with one
+// thread and with N threads produce equal tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runner/scenario_grid.hpp"
+#include "util/table.hpp"
+
+namespace carbonedge::runner {
+
+/// One completed cell: the scenario that was run and its simulation result.
+struct ScenarioOutcome {
+  Scenario scenario;
+  core::SimulationResult result;
+};
+
+struct ScenarioRunnerOptions {
+  /// Worker threads for the sweep (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioRunnerOptions options = {}) : options_(options) {}
+
+  /// Expand and run every cell of the grid; outcomes are returned in grid
+  /// (row-major) order regardless of execution interleaving.
+  [[nodiscard]] std::vector<ScenarioOutcome> run(const ScenarioGrid& grid) const;
+
+  /// Run an explicit scenario list (e.g. a filtered expansion). An empty
+  /// list is a no-op returning no outcomes.
+  [[nodiscard]] std::vector<ScenarioOutcome> run(std::vector<Scenario> scenarios) const;
+
+  /// Aggregate outcomes into one summary row per scenario (label, carbon,
+  /// energy, latency, placement and migration/failure counters), in outcome
+  /// order. Purely a function of the outcomes, so equal outcome vectors
+  /// render byte-identical tables.
+  [[nodiscard]] static util::Table summarize(const std::vector<ScenarioOutcome>& outcomes);
+
+  [[nodiscard]] const ScenarioRunnerOptions& options() const noexcept { return options_; }
+
+ private:
+  ScenarioRunnerOptions options_;
+};
+
+}  // namespace carbonedge::runner

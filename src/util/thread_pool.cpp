@@ -27,6 +27,14 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -55,6 +63,13 @@ void ThreadPool::worker_loop() {
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body, std::size_t chunk) {
   if (begin >= end) return;
+  if (pool.on_worker_thread()) {
+    // Nested use from inside the same pool: blocking on futures here would
+    // deadlock once all workers are occupied by outer tasks. Degrade to
+    // inline execution — same results, no added parallelism.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   const std::size_t total = end - begin;
   if (chunk == 0) {
     chunk = std::max<std::size_t>(1, total / (pool.size() * 4));

@@ -28,6 +28,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when called from one of this pool's worker threads. parallel_for
+  /// uses this to run nested submissions inline instead of deadlocking
+  /// (every worker blocked waiting on tasks no free worker can run).
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
   /// Enqueue a task; returns a future for its completion.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {

@@ -1,0 +1,106 @@
+// MigrationConfig::cost_aware hysteresis (core/simulation.hpp): periodic
+// re-optimization only moves an application when its projected carbon
+// saving over the benefit horizon repays the transfer emissions times the
+// hysteresis factor; vetoed candidates are counted in migrations_skipped.
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbonedge::core {
+namespace {
+
+carbon::CarbonIntensityService make_service(const geo::Region& region) {
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  return service;
+}
+
+/// Long-lived testbed apps plus periodic re-optimization, so every epoch
+/// multiple of 4 evaluates each hosted app as a migration candidate.
+SimulationConfig reopt_config(bool cost_aware, double wh_per_gb) {
+  SimulationConfig config;
+  config.policy = PolicyConfig::carbon_edge();
+  config.epochs = 24;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};  // ResNet50
+  config.workload.latency_limit_rtt_ms = 60.0;  // wide SLO: moves feasible
+  config.reoptimize_every = 4;
+  config.migration.cost_aware = cost_aware;
+  config.migration.network_energy_wh_per_gb = wh_per_gb;
+  return config;
+}
+
+class MigrationCostAwareTest : public ::testing::Test {
+ protected:
+  MigrationCostAwareTest()
+      : region_(geo::florida_region()),
+        service_(make_service(region_)),
+        simulation_(sim::make_uniform_cluster(region_, 1, sim::DeviceType::kA2), service_) {}
+
+  geo::Region region_;
+  carbon::CarbonIntensityService service_;
+  EdgeSimulation simulation_;
+};
+
+TEST_F(MigrationCostAwareTest, NaiveReoptimizationNeverSkips) {
+  const SimulationResult result = simulation_.run(reopt_config(false, 60.0));
+  EXPECT_EQ(result.migrations_skipped, 0u);
+}
+
+TEST_F(MigrationCostAwareTest, ProhibitiveTransferCostVetoesEveryMove) {
+  // At 1 MWh/GB no plausible intensity delta repays the transfer, so the
+  // filter must veto every candidate: no moves, no transfer emissions, and
+  // one skip per hosted app per re-optimization epoch.
+  const SimulationResult result = simulation_.run(reopt_config(true, 1e6));
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.migration_carbon_g, 0.0);
+  EXPECT_EQ(result.migration_energy_wh, 0.0);
+  // 5 long-lived apps x re-optimization at epochs 4, 8, 12, 16, 20.
+  EXPECT_EQ(result.migrations_skipped, 25u);
+}
+
+TEST_F(MigrationCostAwareTest, FreeTransfersDisableTheVeto) {
+  // With a zero-cost network the projected benefit (>= 0 by construction:
+  // the current site is always a candidate) always clears the threshold, so
+  // the cost-aware run degenerates to the naive one.
+  const SimulationResult naive = simulation_.run(reopt_config(false, 0.0));
+  const SimulationResult aware = simulation_.run(reopt_config(true, 0.0));
+  EXPECT_EQ(aware.migrations_skipped, 0u);
+  EXPECT_EQ(aware.migrations, naive.migrations);
+  EXPECT_EQ(aware.telemetry.total_carbon_g(), naive.telemetry.total_carbon_g());
+}
+
+TEST_F(MigrationCostAwareTest, ModerateCostSitsBetweenStickyAndNaive) {
+  const SimulationResult aware = simulation_.run(reopt_config(true, 60.0));
+  const SimulationResult naive = simulation_.run(reopt_config(false, 60.0));
+  // The filter partitions every candidate into applied-or-skipped; it can
+  // only remove moves relative to the naive run.
+  EXPECT_LE(aware.migrations, naive.migrations);
+  EXPECT_LE(aware.migration_carbon_g, naive.migration_carbon_g);
+  // Applied + vetoed evaluations cannot exceed the naive candidate count
+  // (naive moves only count site changes, so compare per-candidate skips).
+  EXPECT_LE(aware.migrations_skipped, 25u);
+}
+
+TEST_F(MigrationCostAwareTest, HysteresisTightensTheFilter) {
+  SimulationConfig loose = reopt_config(true, 60.0);
+  loose.migration.hysteresis = 0.0;  // any positive benefit clears the bar
+  SimulationConfig tight = reopt_config(true, 60.0);
+  tight.migration.hysteresis = 50.0;  // benefit must dwarf the transfer cost
+  const SimulationResult loose_result = simulation_.run(loose);
+  const SimulationResult tight_result = simulation_.run(tight);
+  EXPECT_LE(tight_result.migrations, loose_result.migrations);
+  EXPECT_GE(tight_result.migrations_skipped, loose_result.migrations_skipped);
+}
+
+TEST_F(MigrationCostAwareTest, RunsAreDeterministic) {
+  const SimulationResult a = simulation_.run(reopt_config(true, 60.0));
+  const SimulationResult b = simulation_.run(reopt_config(true, 60.0));
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migrations_skipped, b.migrations_skipped);
+  EXPECT_EQ(a.telemetry.total_carbon_g(), b.telemetry.total_carbon_g());
+}
+
+}  // namespace
+}  // namespace carbonedge::core

@@ -1,0 +1,162 @@
+#include "runner/scenario_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "geo/region.hpp"
+
+namespace carbonedge::runner {
+namespace {
+
+core::SimulationConfig small_config() {
+  core::SimulationConfig config;
+  config.epochs = 6;
+  config.workload.arrivals_per_site = 0.5;
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 25.0;
+  config.workload.seed = 7;
+  return config;
+}
+
+TEST(ScenarioGrid, DefaultGridHasExactlyOneDefaultCell) {
+  const ScenarioGrid grid;
+  EXPECT_EQ(grid.size(), 1u);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].index, 0u);
+  EXPECT_EQ(scenarios[0].label, "default");
+  EXPECT_FALSE(scenarios[0].region.cities.empty());
+  EXPECT_FALSE(scenarios[0].mix.devices.empty());
+}
+
+TEST(ScenarioGrid, SizeIsProductOfAxisCardinalities) {
+  ScenarioGrid grid(small_config());
+  grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()})
+      .with_epochs({4, 6, 8})
+      .with_workload_seeds({1, 2, 3, 4});
+  EXPECT_EQ(grid.size(), 2u * 3u * 4u);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), grid.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].index, i);
+  }
+}
+
+TEST(ScenarioGrid, ExpansionIsRowMajorWithSeedsInnermost) {
+  ScenarioGrid grid(small_config());
+  grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()})
+      .with_workload_seeds({11, 22});
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].config.policy.kind, core::PolicyKind::kLatencyAware);
+  EXPECT_EQ(scenarios[0].config.workload.seed, 11u);
+  EXPECT_EQ(scenarios[1].config.policy.kind, core::PolicyKind::kLatencyAware);
+  EXPECT_EQ(scenarios[1].config.workload.seed, 22u);
+  EXPECT_EQ(scenarios[2].config.policy.kind, core::PolicyKind::kCarbonEdge);
+  EXPECT_EQ(scenarios[2].config.workload.seed, 11u);
+  EXPECT_EQ(scenarios[3].config.policy.kind, core::PolicyKind::kCarbonEdge);
+  EXPECT_EQ(scenarios[3].config.workload.seed, 22u);
+}
+
+TEST(ScenarioGrid, AxesOverrideBaseConfigAndUnsetAxesInheritIt) {
+  core::SimulationConfig base = small_config();
+  base.epochs = 24;
+  base.reoptimize_every = 3;
+  ScenarioGrid grid(base);
+  grid.with_epochs({5});
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].config.epochs, 5u);             // overridden by the axis
+  EXPECT_EQ(scenarios[0].config.reoptimize_every, 3u);   // inherited from base
+  EXPECT_EQ(scenarios[0].config.workload.seed, 7u);
+}
+
+TEST(ScenarioGrid, LabelsNameEverySetAxisAndAreUnique) {
+  ScenarioGrid grid(small_config());
+  grid.with_regions({geo::florida_region(), geo::italy_region()})
+      .with_policies({core::PolicyConfig::carbon_edge()});
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_NE(scenarios[0].label.find("region="), std::string::npos);
+  EXPECT_NE(scenarios[0].label.find("policy="), std::string::npos);
+  EXPECT_NE(scenarios[0].label, scenarios[1].label);
+}
+
+TEST(ScenarioRunner, DistinctRegionsSharingANameGetTheirOwnCarbonService) {
+  // cdn_region truncations share the display name but differ in city list;
+  // the runner must not collapse them onto one service (the larger region's
+  // extra zones would be missing and the sweep would throw).
+  ScenarioGrid grid(small_config());
+  grid.with_regions({geo::cdn_region(geo::Continent::kEurope, 3),
+                     geo::cdn_region(geo::Continent::kEurope, 6)});
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{2}).run(grid);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].result.telemetry.size(), outcomes[0].scenario.config.epochs);
+  EXPECT_EQ(outcomes[1].result.telemetry.size(), outcomes[1].scenario.config.epochs);
+  // Labels must stay distinguishable too (site count disambiguates).
+  EXPECT_NE(outcomes[0].scenario.label, outcomes[1].scenario.label);
+}
+
+TEST(ScenarioRunner, EmptyScenarioListIsANoOp) {
+  const ScenarioRunner runner;
+  const auto outcomes = runner.run(std::vector<Scenario>{});
+  EXPECT_TRUE(outcomes.empty());
+  const util::Table table = ScenarioRunner::summarize(outcomes);
+  EXPECT_EQ(table.rows(), 0u);
+}
+
+TEST(ScenarioRunner, RunsEveryCellAndPreservesGridOrder) {
+  ScenarioGrid grid(small_config());
+  grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()})
+      .with_workload_seeds({1, 2});
+  const ScenarioRunner runner(ScenarioRunnerOptions{2});
+  const auto outcomes = runner.run(grid);
+  ASSERT_EQ(outcomes.size(), grid.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].scenario.index, i);
+    EXPECT_EQ(outcomes[i].result.telemetry.size(), outcomes[i].scenario.config.epochs);
+  }
+}
+
+TEST(ScenarioRunner, DeterministicAcrossThreadCounts) {
+  ScenarioGrid grid(small_config());
+  grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::energy_aware(),
+                      core::PolicyConfig::carbon_edge()})
+      .with_workload_seeds({3, 9});
+
+  const auto serial = ScenarioRunner(ScenarioRunnerOptions{1}).run(grid);
+  const auto parallel = ScenarioRunner(ScenarioRunnerOptions{4}).run(grid);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].scenario.label, parallel[i].scenario.label);
+    // Bit-identical results, not just approximately equal: each cell is
+    // fully self-contained, so the schedule cannot perturb the arithmetic.
+    EXPECT_EQ(serial[i].result.telemetry.total_carbon_g(),
+              parallel[i].result.telemetry.total_carbon_g());
+    EXPECT_EQ(serial[i].result.telemetry.total_energy_wh(),
+              parallel[i].result.telemetry.total_energy_wh());
+    EXPECT_EQ(serial[i].result.telemetry.mean_rtt_ms(),
+              parallel[i].result.telemetry.mean_rtt_ms());
+    EXPECT_EQ(serial[i].result.apps_placed, parallel[i].result.apps_placed);
+    EXPECT_EQ(serial[i].result.apps_rejected, parallel[i].result.apps_rejected);
+    EXPECT_EQ(serial[i].result.migrations, parallel[i].result.migrations);
+  }
+  EXPECT_EQ(ScenarioRunner::summarize(serial).to_string(),
+            ScenarioRunner::summarize(parallel).to_string());
+}
+
+TEST(ScenarioRunner, SummaryHasOneRowPerScenarioInOrder) {
+  ScenarioGrid grid(small_config());
+  grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{2}).run(grid);
+  const util::Table table = ScenarioRunner::summarize(outcomes);
+  EXPECT_EQ(table.rows(), outcomes.size());
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("policy="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace carbonedge::runner

@@ -79,6 +79,27 @@ TEST(ParallelFor, PropagatesFirstException) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, NestedUseOfTheSamePoolRunsInlineInsteadOfDeadlocking) {
+  // Saturate a 2-worker pool with outer tasks that each parallel_for on the
+  // same pool: without inline fallback every worker would block in
+  // future.wait() on tasks no free worker can execute.
+  ThreadPool pool(2);
+  std::vector<std::vector<int>> out(4, std::vector<int>(8, 0));
+  parallel_for(
+      pool, 0, out.size(),
+      [&](std::size_t outer) {
+        EXPECT_TRUE(pool.on_worker_thread());
+        parallel_for(pool, 0, out[outer].size(),
+                     [&](std::size_t inner) { out[outer][inner] = static_cast<int>(inner) + 1; },
+                     /*chunk=*/1);
+      },
+      /*chunk=*/1);
+  for (const auto& row : out) {
+    for (std::size_t i = 0; i < row.size(); ++i) EXPECT_EQ(row[i], static_cast<int>(i) + 1);
+  }
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
 TEST(ThreadPool, SizeReflectsWorkerCount) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
