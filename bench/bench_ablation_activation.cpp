@@ -3,26 +3,23 @@
 // CarbonEdge with the activation term enabled vs zeroed out, with full
 // (base + dynamic) energy accounting. Without the term, placement powers on
 // green-but-idle servers eagerly and pays their base power.
+//
+// Expressed as three single-cell ScenarioGrids (the variants differ in the
+// DeviceMix's initially_off_per_site and the power-manager config) merged
+// into one ScenarioRunner dispatch.
 #include "bench_util.hpp"
+
+#include "runner/scenario_runner.hpp"
 
 using namespace carbonedge;
 
 namespace {
 
-// Run the central-EU day with a given activation handling. "ignore" zeroes
-// the activation costs by pre-powering everything (so activation never
-// enters the objective); "model" keeps servers off until placement decides.
-core::SimulationResult run_variant(const carbon::CarbonIntensityService& service,
-                                   bool model_activation, bool manage_power) {
-  const geo::Region region = geo::central_eu_region();
-  // Small Orin Nano servers (a handful of apps each) so the burst genuinely
-  // needs the spare server and activation decisions have teeth.
-  sim::EdgeCluster cluster = sim::make_uniform_cluster(region, 2, sim::DeviceType::kOrinNano);
-  if (model_activation) {
-    // Start with one server on per site, the second off.
-    for (auto& site : cluster.sites()) site.servers()[1].set_powered_on(false);
-  }
-  core::EdgeSimulation simulation(std::move(cluster), service);
+// The central-EU day with a given activation handling. "all_on" zeroes the
+// activation costs by pre-powering everything (so activation never enters
+// the objective); otherwise the second server of each site starts cold and
+// placement decides.
+runner::Scenario make_variant(bool model_activation, bool manage_power) {
   core::SimulationConfig config;
   config.policy = core::PolicyConfig::carbon_edge();
   config.epochs = 24;
@@ -38,7 +35,18 @@ core::SimulationResult run_variant(const carbon::CarbonIntensityService& service
   config.account_base_power = true;
   config.power.enabled = manage_power;
   config.power.min_on_per_site = 1;
-  return simulation.run(config);
+
+  // Small Orin Nano servers (a handful of apps each) so the burst genuinely
+  // needs the spare server and activation decisions have teeth.
+  runner::DeviceMix mix;
+  mix.name = "Orin Nano";
+  mix.devices = {sim::DeviceType::kOrinNano};
+  mix.servers_per_site = 2;
+  mix.initially_off_per_site = model_activation ? 1 : 0;
+
+  runner::ScenarioGrid grid(bench::apply_smoke_epochs(config));
+  grid.with_regions({geo::central_eu_region()}).with_device_mixes({mix});
+  return grid.expand().front();
 }
 
 }  // namespace
@@ -46,14 +54,13 @@ core::SimulationResult run_variant(const carbon::CarbonIntensityService& service
 int main() {
   bench::print_header("Ablation", "Server-activation term (Eq. 6) and power management");
 
-  const auto service = bench::make_service(geo::central_eu_region());
-
-  const core::SimulationResult all_on = run_variant(service, /*model_activation=*/false,
-                                                    /*manage_power=*/false);
-  const core::SimulationResult activation = run_variant(service, /*model_activation=*/true,
-                                                        /*manage_power=*/false);
-  const core::SimulationResult managed = run_variant(service, /*model_activation=*/true,
-                                                     /*manage_power=*/true);
+  std::vector<runner::Scenario> scenarios = {
+      make_variant(/*model_activation=*/false, /*manage_power=*/false),
+      make_variant(/*model_activation=*/true, /*manage_power=*/false),
+      make_variant(/*model_activation=*/true, /*manage_power=*/true),
+  };
+  for (std::size_t i = 0; i < scenarios.size(); ++i) scenarios[i].index = i;
+  const auto outcomes = runner::ScenarioRunner().run(std::move(scenarios));
 
   util::Table table({"Variant", "Carbon (g)", "Energy (Wh)", "Placed", "Rejected"});
   table.set_title("Eq. 6 activation-term ablation (24h, base power accounted)");
@@ -62,9 +69,9 @@ int main() {
                    util::format_fixed(result.telemetry.total_energy_wh(), 1),
                    std::to_string(result.apps_placed), std::to_string(result.apps_rejected)});
   };
-  add("all servers pre-powered (no activation modeling)", all_on);
-  add("activation term active (half fleet starts off)", activation);
-  add("activation term + idle power management", managed);
+  add("all servers pre-powered (no activation modeling)", outcomes[0].result);
+  add("activation term active (half fleet starts off)", outcomes[1].result);
+  add("activation term + idle power management", outcomes[2].result);
   table.print(std::cout);
 
   bench::print_takeaway(

@@ -7,54 +7,54 @@
 //                       24 h waiting for a low-intensity hour at the origin
 //   * spatial only    — CarbonEdge, immediate start
 //   * both            — CarbonEdge + 24 h deferral
+//
+// Expressed as a ScenarioGrid over region x policy x defer-budget (8 two-
+// week cells) dispatched in parallel by the ScenarioRunner.
 #include "bench_util.hpp"
+
+#include "runner/scenario_runner.hpp"
 
 using namespace carbonedge;
 
-namespace {
+int main() {
+  bench::print_header("Ablation", "Temporal vs spatial shifting (Section 2.2)");
 
-core::SimulationResult run_mode(core::EdgeSimulation& simulation, bool spatial,
-                                std::uint32_t defer_epochs) {
+  const std::vector<geo::Region> regions = {geo::west_us_region(), geo::central_eu_region()};
+  const std::vector<core::PolicyConfig> policies = {core::PolicyConfig::latency_aware(),
+                                                    core::PolicyConfig::carbon_edge()};
+  const std::vector<std::uint32_t> defers = {0, 24};
+
   core::SimulationConfig config;
-  config.policy =
-      spatial ? core::PolicyConfig::carbon_edge() : core::PolicyConfig::latency_aware();
   config.epochs = 14 * 24;  // two weeks, hourly
   config.workload.arrivals_per_site = 0.5;
   config.workload.mean_lifetime_epochs = 8.0;
   config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
   config.workload.latency_limit_rtt_ms = 25.0;
-  config.workload.max_defer_epochs = defer_epochs;
   config.forecast_horizon_hours = 6;
-  return simulation.run(config);
-}
 
-}  // namespace
+  runner::ScenarioGrid grid(bench::apply_smoke_epochs(config));
+  grid.with_regions(regions).with_policies(policies).with_defer_epochs(defers);
+  const auto outcomes = runner::ScenarioRunner().run(grid);
 
-int main() {
-  bench::print_header("Ablation", "Temporal vs spatial shifting (Section 2.2)");
-
-  for (const geo::Region& region : {geo::west_us_region(), geo::central_eu_region()}) {
-    const auto service = bench::make_service(region);
-    core::EdgeSimulation simulation(
-        sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
-
-    const core::SimulationResult none = run_mode(simulation, false, 0);
-    const core::SimulationResult temporal = run_mode(simulation, false, 24);
-    const core::SimulationResult spatial = run_mode(simulation, true, 0);
-    const core::SimulationResult both = run_mode(simulation, true, 24);
+  // Row-major order: region (outermost), policy, defer budget (innermost).
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto cell = [&](std::size_t policy, std::size_t defer) -> const core::SimulationResult& {
+      return outcomes[(r * policies.size() + policy) * defers.size() + defer].result;
+    };
+    const core::SimulationResult& none = cell(0, 0);
 
     util::Table table({"Mode", "Carbon (g)", "Saving", "dRTT (ms)", "Deferred"});
-    table.set_title(region.name + ": two weeks, ResNet50 workload");
-    const auto add = [&](const char* name, const core::SimulationResult& r) {
-      table.add_row({name, util::format_fixed(r.telemetry.total_carbon_g(), 1),
-                     util::format_percent(core::carbon_saving(none, r)),
-                     util::format_fixed(core::latency_increase_ms(none, r), 2),
-                     std::to_string(r.apps_deferred)});
+    table.set_title(regions[r].name + ": two weeks, ResNet50 workload");
+    const auto add = [&](const char* name, const core::SimulationResult& result) {
+      table.add_row({name, util::format_fixed(result.telemetry.total_carbon_g(), 1),
+                     util::format_percent(core::carbon_saving(none, result)),
+                     util::format_fixed(core::latency_increase_ms(none, result), 2),
+                     std::to_string(result.apps_deferred)});
     };
     add("none (Latency-aware, immediate)", none);
-    add("temporal only (defer <= 24h)", temporal);
-    add("spatial only (CarbonEdge)", spatial);
-    add("temporal + spatial", both);
+    add("temporal only (defer <= 24h)", cell(0, 1));
+    add("spatial only (CarbonEdge)", cell(1, 0));
+    add("temporal + spatial", cell(1, 1));
     table.print(std::cout);
   }
   bench::print_takeaway(

@@ -3,14 +3,32 @@
 // CDF of load-weighted carbon intensity (c). Paper: 49.5% (US) and 67.8%
 // (EU) savings at <11 ms RTT increase; CarbonEdge shifts load mass toward
 // low-intensity zones; isolated sites (e.g. Salt Lake City) keep their load.
+//
+// Expressed as a ScenarioGrid (continent x policy, four year-long cells)
+// dispatched across all cores by the ScenarioRunner; tables are rebuilt from
+// the row-major outcome order, byte-identical to the former serial loops.
 #include "bench_util.hpp"
 
+#include "runner/scenario_runner.hpp"
 #include "util/stats.hpp"
 
 using namespace carbonedge;
 
 int main() {
   bench::print_header("Figure 11", "Year-long CDN evaluation (US and Europe)");
+
+  const std::vector<geo::Continent> continents = {geo::Continent::kNorthAmerica,
+                                                  geo::Continent::kEurope};
+  const std::vector<core::PolicyConfig> policies = {core::PolicyConfig::latency_aware(),
+                                                    core::PolicyConfig::carbon_edge()};
+  std::vector<geo::Region> regions;
+  for (const geo::Continent continent : continents) {
+    regions.push_back(geo::cdn_region(continent, 40));
+  }
+
+  runner::ScenarioGrid grid(bench::apply_smoke_epochs(bench::cdn_config()));
+  grid.with_regions(regions).with_policies(policies);
+  const auto outcomes = runner::ScenarioRunner().run(grid);
 
   util::Table summary({"Continent", "Sites", "Latency-aware (kg)", "CarbonEdge (kg)",
                        "Saving", "dRTT (ms)"});
@@ -23,31 +41,27 @@ int main() {
   };
   std::vector<LoadCdf> cdfs;
 
-  for (const geo::Continent continent :
-       {geo::Continent::kNorthAmerica, geo::Continent::kEurope}) {
-    const geo::Region region = geo::cdn_region(continent, 40);
-    const auto service = bench::make_service(region);
-    core::EdgeSimulation simulation(
-        sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
-    const auto results =
-        core::run_policies(simulation, bench::cdn_config(),
-                           {core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});
-    summary.add_row({continent == geo::Continent::kNorthAmerica ? "US" : "Europe",
+  for (std::size_t c = 0; c < continents.size(); ++c) {
+    // Row-major expansion with policies innermost: [LA, CE] per continent.
+    const core::SimulationResult& base = outcomes[c * policies.size()].result;
+    const core::SimulationResult& ce = outcomes[c * policies.size() + 1].result;
+    const geo::Region& region = regions[c];
+    summary.add_row({continents[c] == geo::Continent::kNorthAmerica ? "US" : "Europe",
                      std::to_string(region.cities.size()),
-                     util::format_fixed(results[0].telemetry.total_carbon_kg(), 1),
-                     util::format_fixed(results[1].telemetry.total_carbon_kg(), 1),
-                     util::format_percent(core::carbon_saving(results[0], results[1])),
-                     util::format_fixed(core::latency_increase_ms(results[0], results[1]), 1)});
-    cdfs.push_back({continent == geo::Continent::kNorthAmerica ? "US" : "EU",
-                    util::EmpiricalCdf(results[0].telemetry.load_intensity_sample()),
-                    util::EmpiricalCdf(results[1].telemetry.load_intensity_sample())});
+                     util::format_fixed(base.telemetry.total_carbon_kg(), 1),
+                     util::format_fixed(ce.telemetry.total_carbon_kg(), 1),
+                     util::format_percent(core::carbon_saving(base, ce)),
+                     util::format_fixed(core::latency_increase_ms(base, ce), 1)});
+    cdfs.push_back({continents[c] == geo::Continent::kNorthAmerica ? "US" : "EU",
+                    util::EmpiricalCdf(base.telemetry.load_intensity_sample()),
+                    util::EmpiricalCdf(ce.telemetry.load_intensity_sample())});
 
     // Per-site load retention: sites far from greener neighbors keep their
     // load (the paper's Salt Lake City example). Count such sites and name
     // the largest one.
-    const auto base_apps = results[0].telemetry.apps_by_site(0, results[0].telemetry.size());
-    const auto ce_apps = results[1].telemetry.apps_by_site(0, results[1].telemetry.size());
-    const auto cities = simulation.pristine_cluster().cities();
+    const auto base_apps = base.telemetry.apps_by_site(0, base.telemetry.size());
+    const auto ce_apps = ce.telemetry.apps_by_site(0, ce.telemetry.size());
+    const auto cities = region.resolve();
     std::size_t retained = 0;
     std::string example;
     for (std::size_t s = 0; s < cities.size(); ++s) {

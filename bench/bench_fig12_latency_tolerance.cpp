@@ -2,7 +2,12 @@
 // savings and latency increases for the US and EU CDNs. Expected shape:
 // savings grow concavely with the limit (diminishing returns); latency
 // increases grow roughly linearly; benefits outweigh overheads everywhere.
+//
+// Expressed as a ScenarioGrid over the RTT-limit axis (continent x limit x
+// policy, 24 quarter-long cells) dispatched in parallel by ScenarioRunner.
 #include "bench_util.hpp"
+
+#include "runner/scenario_runner.hpp"
 
 using namespace carbonedge;
 
@@ -13,23 +18,31 @@ int main() {
                      "EU dRTT (ms)"});
   table.set_title("Figure 12: latency-tolerance sweep (3-month simulation)");
 
-  std::vector<std::vector<std::string>> rows;
-  for (const double limit : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    std::vector<std::string> row = {util::format_fixed(limit, 0)};
-    for (const geo::Continent continent :
-         {geo::Continent::kNorthAmerica, geo::Continent::kEurope}) {
-      const geo::Region region = geo::cdn_region(continent, 30);
-      const auto service = bench::make_service(region);
-      core::EdgeSimulation simulation(
-          sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
-      core::SimulationConfig config = bench::cdn_config();
-      config.epochs = carbon::kHoursPerYear / 3 / 4;  // one quarter, 3h epochs
-      config.workload.latency_limit_rtt_ms = limit;
-      const auto results = core::run_policies(
-          simulation, config,
-          {core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});
-      row.push_back(util::format_percent(core::carbon_saving(results[0], results[1])));
-      row.push_back(util::format_fixed(core::latency_increase_ms(results[0], results[1]), 1));
+  const std::vector<double> limits = {5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+  const std::vector<core::PolicyConfig> policies = {core::PolicyConfig::latency_aware(),
+                                                    core::PolicyConfig::carbon_edge()};
+
+  core::SimulationConfig config = bench::cdn_config();
+  config.epochs = carbon::kHoursPerYear / 3 / 4;  // one quarter, 3h epochs
+  runner::ScenarioGrid grid(bench::apply_smoke_epochs(config));
+  grid.with_regions({geo::cdn_region(geo::Continent::kNorthAmerica, 30),
+                     geo::cdn_region(geo::Continent::kEurope, 30)})
+      .with_policies(policies)
+      .with_rtt_limits(limits);
+  const auto outcomes = runner::ScenarioRunner().run(grid);
+
+  // Row-major order: region (outermost), policy, RTT limit (innermost).
+  const auto cell = [&](std::size_t region, std::size_t policy, std::size_t limit)
+      -> const core::SimulationResult& {
+    return outcomes[(region * policies.size() + policy) * limits.size() + limit].result;
+  };
+  for (std::size_t l = 0; l < limits.size(); ++l) {
+    std::vector<std::string> row = {util::format_fixed(limits[l], 0)};
+    for (std::size_t r = 0; r < 2; ++r) {
+      const core::SimulationResult& base = cell(r, 0, l);
+      const core::SimulationResult& ce = cell(r, 1, l);
+      row.push_back(util::format_percent(core::carbon_saving(base, ce)));
+      row.push_back(util::format_fixed(core::latency_increase_ms(base, ce), 1));
     }
     table.add_row(std::move(row));
   }

@@ -3,7 +3,9 @@
 // printing the same rows/series the paper reports.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,11 +25,26 @@ inline void print_takeaway(const std::string& text) {
   std::cout << ">> " << text << "\n";
 }
 
-/// Carbon service over a region with the default calibrated synthesizer.
+/// Carbon service over a region with the default calibrated synthesizer
+/// (traces shared through the process-wide carbon::TraceCache).
 inline carbon::CarbonIntensityService make_service(const geo::Region& region) {
   carbon::CarbonIntensityService service;
   service.add_region(region);
   return service;
+}
+
+/// CI smoke support: when CARBONEDGE_SMOKE_EPOCHS is set, cap the epoch
+/// count so year-long benches exercise their full code path in seconds.
+/// Returns the config unchanged when the variable is absent, so production
+/// runs keep the paper's horizons.
+inline core::SimulationConfig apply_smoke_epochs(core::SimulationConfig config) {
+  if (const char* env = std::getenv("CARBONEDGE_SMOKE_EPOCHS")) {
+    const unsigned long cap = std::strtoul(env, nullptr, 10);
+    if (cap > 0) {
+      config.epochs = std::min(config.epochs, static_cast<std::uint32_t>(cap));
+    }
+  }
+  return config;
 }
 
 /// The four evaluation policies in the paper's order (Section 6.1.3).

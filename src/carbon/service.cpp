@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "carbon/trace_cache.hpp"
+
 namespace carbonedge::carbon {
 
 CarbonIntensityService::CarbonIntensityService()
@@ -13,18 +15,22 @@ CarbonIntensityService::CarbonIntensityService(std::unique_ptr<Forecaster> forec
 }
 
 void CarbonIntensityService::add_trace(CarbonTrace trace) {
-  const std::string name = trace.zone();
+  add_trace(std::make_shared<const CarbonTrace>(std::move(trace)));
+}
+
+void CarbonIntensityService::add_trace(std::shared_ptr<const CarbonTrace> trace) {
+  if (!trace) throw std::invalid_argument("trace must be non-null");
+  const std::string name = trace->zone();
   traces_.insert_or_assign(name, std::move(trace));
 }
 
 std::vector<std::string> CarbonIntensityService::add_region(const geo::Region& region,
                                                             const SynthesizerParams& params) {
-  const TraceSynthesizer synthesizer(params);
   const auto& catalog = ZoneCatalog::builtin();
   std::vector<std::string> names;
   names.reserve(region.cities.size());
   for (const geo::City& city : region.resolve()) {
-    add_trace(synthesizer.synthesize(catalog.spec_for(city)));
+    add_trace(TraceCache::global().get(catalog.spec_for(city), params));
     names.push_back(city.name);
   }
   return names;
@@ -35,6 +41,11 @@ bool CarbonIntensityService::has_zone(const std::string& zone) const noexcept {
 }
 
 const CarbonTrace& CarbonIntensityService::trace(const std::string& zone) const {
+  return *shared_trace(zone);
+}
+
+std::shared_ptr<const CarbonTrace> CarbonIntensityService::shared_trace(
+    const std::string& zone) const {
   const auto it = traces_.find(zone);
   if (it == traces_.end()) throw std::out_of_range("unknown carbon zone: " + zone);
   return it->second;

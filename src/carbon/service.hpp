@@ -24,9 +24,13 @@ class CarbonIntensityService {
 
   /// Register a trace for a zone; replaces any existing trace of that name.
   void add_trace(CarbonTrace trace);
+  /// Register an already-shared trace (e.g. from the TraceCache) without
+  /// copying its year-long series.
+  void add_trace(std::shared_ptr<const CarbonTrace> trace);
 
-  /// Synthesize and register traces for every city of a region. Returns the
-  /// zone names in region order.
+  /// Register traces for every city of a region, sharing them through the
+  /// process-wide TraceCache (synthesis happens at most once per
+  /// (zone, params) per process). Returns the zone names in region order.
   std::vector<std::string> add_region(const geo::Region& region,
                                       const SynthesizerParams& params = {});
 
@@ -45,11 +49,17 @@ class CarbonIntensityService {
                                              std::uint32_t horizon) const;
 
   [[nodiscard]] const CarbonTrace& trace(const std::string& zone) const;
+  /// Shared handle to a zone's trace — lets callers hold (or re-register in
+  /// another service) the immutable series without copying it.
+  [[nodiscard]] std::shared_ptr<const CarbonTrace> shared_trace(const std::string& zone) const;
   [[nodiscard]] const Forecaster& forecaster() const noexcept { return *forecaster_; }
   void set_forecaster(std::unique_ptr<Forecaster> forecaster);
 
  private:
-  std::unordered_map<std::string, CarbonTrace> traces_;
+  // Traces are immutable and shared: services over the same region point at
+  // the same year-long series (via the TraceCache), so constructing or
+  // copying wide-sweep services does not duplicate 8760-hour vectors.
+  std::unordered_map<std::string, std::shared_ptr<const CarbonTrace>> traces_;
   std::unique_ptr<Forecaster> forecaster_;
 };
 

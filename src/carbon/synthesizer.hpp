@@ -43,6 +43,10 @@ struct SynthesizerParams {
   /// way real interconnection does (keeps e.g. nuclear France near ~50
   /// g/kWh rather than the plant-level ~15).
   double grid_import_fraction = 0.06;
+
+  /// Memberwise equality: two parameter sets synthesize identical traces
+  /// exactly when they compare equal (the TraceCache memoization key).
+  [[nodiscard]] bool operator==(const SynthesizerParams&) const noexcept = default;
 };
 
 /// Deterministic synthesizer: the same (zone, params) always yields the

@@ -1,0 +1,83 @@
+#include "carbon/trace_cache.hpp"
+
+#include <bit>
+#include <functional>
+
+namespace carbonedge::carbon {
+
+namespace {
+
+void hash_mix(std::size_t& h, std::uint64_t v) noexcept {
+  h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+void hash_mix(std::size_t& h, double v) noexcept {
+  // Normalize -0.0 so equal params always hash equally.
+  hash_mix(h, std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+}
+
+}  // namespace
+
+std::size_t TraceCache::KeyHash::operator()(const Key& key) const noexcept {
+  std::size_t h = std::hash<std::string>{}(key.zone);
+  const SynthesizerParams& p = key.params;
+  hash_mix(h, p.seed);
+  hash_mix(h, static_cast<std::uint64_t>(p.hours));
+  hash_mix(h, p.cloud_persistence);
+  hash_mix(h, p.cloud_noise);
+  hash_mix(h, p.wind_persistence);
+  hash_mix(h, p.wind_noise);
+  hash_mix(h, p.demand_noise);
+  hash_mix(h, p.nuclear_capacity_factor);
+  hash_mix(h, p.hydro_capacity_factor);
+  hash_mix(h, p.grid_import_fraction);
+  return h;
+}
+
+TraceCache& TraceCache::global() {
+  static TraceCache cache;
+  return cache;
+}
+
+std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
+                                                   const SynthesizerParams& params) {
+  Key key{zone.name, params};
+  // The lock spans the synthesis so a key is synthesized exactly once even
+  // under concurrent first requests. Synthesis is ~ms per zone and sweeps
+  // warm the cache before fan-out, so the serialization is immaterial.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++syntheses_;
+  auto trace =
+      std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+  entries_.emplace(std::move(key), trace);
+  return trace;
+}
+
+std::size_t TraceCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t TraceCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t TraceCache::syntheses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return syntheses_;
+}
+
+void TraceCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  syntheses_ = 0;
+}
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,71 @@
+// Process-wide immutable carbon-trace cache.
+//
+// Synthesizing a zone's year-long hourly trace is the dominant startup cost
+// of wide scenario sweeps, and before this cache every CarbonIntensityService
+// construction re-ran the synthesizer for every zone of its region. The
+// cache memoizes TraceSynthesizer output keyed on (zone name,
+// SynthesizerParams) and hands out shared_ptr<const CarbonTrace>, so
+// synthesis happens exactly once per (zone, params) per process and every
+// service/simulation thereafter shares one immutable year-long series.
+//
+// Invariant: a zone name identifies its ZoneSpec. This holds for the
+// built-in catalog (specs are a pure function of the city), which is the
+// only spec source in the tree; callers synthesizing ad-hoc specs that
+// reuse a catalog name must bypass the cache and add_trace() directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+
+namespace carbonedge::carbon {
+
+class TraceCache {
+ public:
+  TraceCache() = default;
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// The process-wide instance used by CarbonIntensityService::add_region.
+  [[nodiscard]] static TraceCache& global();
+
+  /// The trace for (zone.name, params), synthesizing it on first request.
+  /// Thread-safe; concurrent requests for the same key synthesize once.
+  [[nodiscard]] std::shared_ptr<const CarbonTrace> get(const ZoneSpec& zone,
+                                                       const SynthesizerParams& params = {});
+
+  /// Number of distinct (zone, params) entries currently cached.
+  [[nodiscard]] std::size_t size() const;
+  /// Lookups answered from the cache without synthesizing.
+  [[nodiscard]] std::uint64_t hits() const;
+  /// Synthesizer runs (== cache misses); the "once per (zone, params) per
+  /// process" guarantee is `syntheses() == size()` at all times.
+  [[nodiscard]] std::uint64_t syntheses() const;
+
+  /// Drop all entries and reset counters (tests; shared_ptrs handed out
+  /// earlier stay valid).
+  void clear();
+
+ private:
+  struct Key {
+    std::string zone;
+    SynthesizerParams params;
+    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const CarbonTrace>, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t syntheses_ = 0;
+};
+
+}  // namespace carbonedge::carbon

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "carbon/caltime.hpp"
 #include "util/random.hpp"
 
 namespace carbonedge::core {
@@ -36,6 +37,14 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
   std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> under_repair;
   // Temporally flexible applications waiting for a low-intensity start.
   std::vector<sim::Application> deferred;
+  // Formerly-hosted applications that lost their server — bumped by a
+  // rejected re-optimization or orphaned by a crash — awaiting re-placement;
+  // they retry through the deferral queue and must never be counted as
+  // fresh rejections. Maps the app to the site it last ran on, for
+  // migration accounting when it lands again; kNoAccountedSite marks crash
+  // victims, whose redeployment is not a data-movement migration.
+  constexpr std::size_t kNoAccountedSite = static_cast<std::size_t>(-1);
+  std::unordered_map<sim::AppId, std::size_t> displaced_from;
 
   const auto find_server = [&](std::size_t site, std::uint32_t server_id) -> sim::EdgeServer& {
     for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
@@ -65,10 +74,14 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     return std::pair{energy_wh, carbon_g};
   };
 
-  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto hour = static_cast<carbon::HourIndex>(
+  const auto hour_at = [&](std::uint32_t epoch) {
+    return static_cast<carbon::HourIndex>(
         config.start_hour + static_cast<carbon::HourIndex>(
                                 std::floor(static_cast<double>(epoch) * config.epoch_hours)));
+  };
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const carbon::HourIndex hour = hour_at(epoch);
 
     std::uint32_t epoch_failures = 0;
     std::uint32_t epoch_migrations = 0;
@@ -93,9 +106,12 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
         for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
           if (!server.powered_on() || server.failed()) continue;
           if (!failure_rng.bernoulli(fail_p)) continue;
-          // Re-batch the apps that were on the crashed server.
+          // Re-batch the apps that were on the crashed server. Marking them
+          // displaced keeps them alive (retried, never counted as fresh
+          // rejections) if the shrunken cluster cannot re-place them at once.
           for (auto it = hosted.begin(); it != hosted.end();) {
             if (it->second.site == site && it->second.server == server.id()) {
+              displaced_from.insert_or_assign(it->first, kNoAccountedSite);
               batch.push_back(it->second.app);
               ++result.apps_redeployed;
               it = hosted.erase(it);
@@ -111,12 +127,15 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
       }
     }
 
-    // 2. Departures.
+    // 2. Departures. Guarded decrement: an application admitted with
+    // remaining_epochs == 0 departs immediately instead of underflowing to
+    // ~4B epochs and becoming immortal.
     for (auto it = hosted.begin(); it != hosted.end();) {
-      if (--it->second.app.remaining_epochs == 0) {
+      if (it->second.app.remaining_epochs <= 1) {
         find_server(it->second.site, it->second.server).evict(it->first);
         it = hosted.erase(it);
       } else {
+        --it->second.app.remaining_epochs;
         ++it;
       }
     }
@@ -156,9 +175,24 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
         ++it;
       }
     }
-    const bool migrate = config.reoptimize_every != 0 && epoch != 0 &&
-                         epoch % config.reoptimize_every == 0;
-    std::unordered_map<sim::AppId, std::size_t> previous_site;
+    // Re-optimization cadence: calendar-month boundaries (the epoch whose
+    // hour enters a new month) or a fixed epoch period.
+    bool migrate = false;
+    if (epoch != 0) {
+      if (config.reoptimize_monthly) {
+        migrate = carbon::month_of_hour(hour) != carbon::month_of_hour(hour_at(epoch - 1));
+      } else {
+        migrate = config.reoptimize_every != 0 && epoch % config.reoptimize_every == 0;
+      }
+    }
+    // Where each re-optimization candidate was hosted before being evicted
+    // into the batch — for data-movement accounting on moves, and to restore
+    // the app if the solver rejects it.
+    struct PreviousPlacement {
+      std::size_t site = 0;
+      std::uint32_t server = 0;
+    };
+    std::unordered_map<sim::AppId, PreviousPlacement> previous_placement;
     if (migrate) {
       std::vector<sim::AppId> to_move;
       for (const auto& [id, entry] : hosted) {
@@ -192,7 +226,7 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
       for (const sim::AppId id : to_move) {
         auto& entry = hosted.at(id);
         find_server(entry.site, entry.server).evict(id);
-        previous_site.emplace(id, entry.site);
+        previous_placement.emplace(id, PreviousPlacement{entry.site, entry.server});
         batch.push_back(entry.app);
         hosted.erase(id);
       }
@@ -213,22 +247,109 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     std::unordered_map<sim::AppId, const sim::Application*> by_id;
     by_id.reserve(batch.size());
     for (const sim::Application& app : batch) by_id.emplace(app.id, &app);
+    // Charge the data movement of an app that left `from_site` this epoch.
+    const auto account_move = [&](const sim::Application& app, std::size_t from_site) {
+      const auto [move_energy, move_carbon] =
+          migration_cost(app, cluster.sites()[from_site].zone(), hour);
+      epoch_migration_energy += move_energy;
+      epoch_migration_carbon += move_carbon;
+      ++epoch_migrations;
+      ++result.migrations;
+    };
     for (const PlacementDecision& decision : placement.decisions) {
       hosted.emplace(decision.app,
                      HostedApp{*by_id.at(decision.app), decision.site, decision.server});
-      // Account data movement for re-optimized apps that changed site.
-      const auto prev = previous_site.find(decision.app);
-      if (prev != previous_site.end() && prev->second != decision.site) {
-        const auto [move_energy, move_carbon] =
-            migration_cost(*by_id.at(decision.app), cluster.sites()[prev->second].zone(), hour);
-        epoch_migration_energy += move_energy;
-        epoch_migration_carbon += move_carbon;
-        ++epoch_migrations;
-        ++result.migrations;
+      // Account data movement for re-optimized (or earlier-displaced) apps
+      // that changed site.
+      const auto prev = previous_placement.find(decision.app);
+      const auto limbo = displaced_from.find(decision.app);
+      if (prev != previous_placement.end()) {
+        if (prev->second.site != decision.site) {
+          account_move(*by_id.at(decision.app), prev->second.site);
+        }
+      } else if (limbo != displaced_from.end()) {
+        if (limbo->second != kNoAccountedSite && limbo->second != decision.site) {
+          account_move(*by_id.at(decision.app), limbo->second);
+        }
+        displaced_from.erase(limbo);
+      }
+    }
+
+    // A live application must never be lost to a re-optimization attempt:
+    // if the solver rejected an evicted migrant (e.g. capacity shrank after
+    // a failure), put it back on its previous server — the evict freed that
+    // capacity, so it is normally reclaimable — and count the non-move as a
+    // skipped migration, not a rejection. Only fresh arrivals can be
+    // genuinely rejected.
+    std::uint32_t fresh_rejected = 0;
+    for (const sim::AppId id : placement.rejected) {
+      const auto prev = previous_placement.find(id);
+      const auto limbo = displaced_from.find(id);
+      if (prev == previous_placement.end() && limbo == displaced_from.end()) {
+        ++fresh_rejected;
+        continue;
+      }
+      const sim::Application& app = *by_id.at(id);
+      const std::size_t home_site =
+          prev != previous_placement.end() ? prev->second.site : limbo->second;
+      sim::EdgeServer* target = nullptr;
+      std::size_t target_site = home_site;
+      if (prev != previous_placement.end()) {
+        sim::EdgeServer& old_server = find_server(prev->second.site, prev->second.server);
+        if (old_server.powered_on() && old_server.can_host(app.model, app.rps)) {
+          target = &old_server;
+        }
+      }
+      if (target == nullptr) {
+        // The slot is gone (taken by a competing batch member, or the app
+        // has been in limbo since an earlier epoch); fall back to the first
+        // powered-on latency-feasible server with headroom. can_host() does
+        // not cover power state, and activating a cold server here would
+        // bypass the optimizer's Eq. 5 activation decision, so off servers
+        // are skipped.
+        for (std::size_t site = 0; site < cluster.size() && target == nullptr; ++site) {
+          if (2.0 * latency_.one_way_ms(app.origin_site, site) >
+              app.latency_limit_rtt_ms + 1e-9) {
+            continue;
+          }
+          for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
+            if (server.powered_on() && server.can_host(app.model, app.rps)) {
+              target = &server;
+              target_site = site;
+              break;
+            }
+          }
+        }
+      }
+      if (prev != previous_placement.end() &&
+          (target == nullptr || target_site == home_site)) {
+        // The optimizer's intended migration did not happen and the app
+        // stayed (or parked) at home; landing on another site is instead a
+        // real move, charged below.
+        ++result.migrations_skipped;
+      }
+      if (target != nullptr) {
+        target->host(sim::AppInstance{id, app.model, app.rps});
+        hosted.emplace(id, HostedApp{app, target_site, target->id()});
+        // Landing away from the app's previous site is a real (forced)
+        // move and pays the transfer emissions like any other migration —
+        // except for crash victims, whose old server is gone.
+        if (home_site != kNoAccountedSite && target_site != home_site) {
+          account_move(app, home_site);
+        }
+        if (limbo != displaced_from.end()) displaced_from.erase(limbo);
+      } else {
+        // No capacity anywhere this epoch (another app took the freed slot
+        // and the cluster is saturated): keep the app alive and retry at the
+        // next epoch via the deferral queue rather than dropping it.
+        displaced_from.insert_or_assign(id, home_site);
+        sim::Application retry = app;
+        retry.max_defer_epochs = 0;
+        deferred.push_back(std::move(retry));
       }
     }
     result.apps_placed += placement.decisions.size();
-    result.apps_rejected += placement.rejected.size();
+    result.apps_rejected += fresh_rejected;
     result.migration_energy_wh += epoch_migration_energy;
     result.migration_carbon_g += epoch_migration_carbon;
 
@@ -236,7 +357,7 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     sim::EpochRecord record;
     record.epoch = epoch;
     record.apps_placed = static_cast<std::uint32_t>(placement.decisions.size());
-    record.apps_rejected = static_cast<std::uint32_t>(placement.rejected.size());
+    record.apps_rejected = fresh_rejected;
     record.migration_energy_wh = epoch_migration_energy;
     record.migration_carbon_g = epoch_migration_carbon;
     record.migrations = epoch_migrations;
@@ -268,6 +389,14 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
 
     // 6. Power management between epochs.
     power_manager.sweep(cluster);
+  }
+
+  // Deferred applications whose start never came before the horizon ran out
+  // are accounted explicitly so placed + rejected + expired reconcile.
+  // Displaced retries parked in the same queue were already counted in
+  // apps_placed at admission, so they are excluded.
+  for (const sim::Application& app : deferred) {
+    if (!displaced_from.contains(app.id)) ++result.apps_expired_deferred;
   }
 
   result.mean_solve_ms =

@@ -53,6 +53,12 @@ struct SimulationConfig {
   /// sticky for an app's lifetime). The seasonality experiments migrate
   /// monthly.
   std::uint32_t reoptimize_every = 0;
+  /// Re-optimize at the first epoch of each calendar month instead of a
+  /// fixed cadence (aligned with carbon::month_start_hour/days_in_month, so
+  /// migration windows match the monthly reporting windows; a fixed
+  /// "31 * 8 epochs" cadence drifts off-calendar from February onward).
+  /// Takes precedence over reoptimize_every when set.
+  bool reoptimize_monthly = false;
   MigrationConfig migration;
   FailureConfig failures;
   solver::AssignmentOptions solver_options;
@@ -76,6 +82,11 @@ struct SimulationResult {
   std::uint64_t server_failures = 0;
   std::uint64_t apps_redeployed = 0;      // re-placed after a crash
   std::uint64_t apps_deferred = 0;        // temporally shifted arrivals
+  /// Deferred arrivals whose start was still pending when the simulated
+  /// horizon ran out — never placed nor rejected, and without this counter
+  /// placed+rejected totals would not reconcile with arrivals. Excludes
+  /// displaced live apps awaiting re-placement (already in apps_placed).
+  std::uint64_t apps_expired_deferred = 0;
 };
 
 /// Owns a pristine cluster copy; every run() starts from that state, so the

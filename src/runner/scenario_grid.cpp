@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/policy.hpp"
+#include "util/table.hpp"
 
 namespace carbonedge::runner {
 
@@ -17,6 +18,15 @@ std::size_t axis_size(std::size_t n) { return n == 0 ? 1 : n; }
 void append_label(std::string& label, const std::string& part) {
   if (!label.empty()) label += " | ";
   label += part;
+}
+
+// Compact axis-value rendering for doubles: up to two decimals, trailing
+// zeros trimmed ("20", "0.8", "1.25").
+std::string format_axis(double value) {
+  std::string text = util::format_fixed(value, 2);
+  while (text.back() == '0') text.pop_back();
+  if (text.back() == '.') text.pop_back();
+  return text;
 }
 
 }  // namespace
@@ -41,6 +51,26 @@ ScenarioGrid& ScenarioGrid::with_epochs(std::vector<std::uint32_t> epochs) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::with_rtt_limits(std::vector<double> limits) {
+  rtt_limits_ = std::move(limits);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_arrival_rates(std::vector<double> rates) {
+  arrival_rates_ = std::move(rates);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_defer_epochs(std::vector<std::uint32_t> defers) {
+  defer_epochs_ = std::move(defers);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::with_forecasters(std::vector<std::string> forecasters) {
+  forecasters_ = std::move(forecasters);
+  return *this;
+}
+
 ScenarioGrid& ScenarioGrid::with_migrations(std::vector<MigrationSpec> migrations) {
   migrations_ = std::move(migrations);
   return *this;
@@ -58,7 +88,9 @@ ScenarioGrid& ScenarioGrid::with_workload_seeds(std::vector<std::uint64_t> seeds
 
 std::size_t ScenarioGrid::size() const noexcept {
   return axis_size(regions_.size()) * axis_size(mixes_.size()) * axis_size(policies_.size()) *
-         axis_size(epochs_.size()) * axis_size(migrations_.size()) *
+         axis_size(epochs_.size()) * axis_size(rtt_limits_.size()) *
+         axis_size(arrival_rates_.size()) * axis_size(defer_epochs_.size()) *
+         axis_size(forecasters_.size()) * axis_size(migrations_.size()) *
          axis_size(failures_.size()) * axis_size(seeds_.size());
 }
 
@@ -98,42 +130,74 @@ std::vector<Scenario> ScenarioGrid::expand() const {
     for (const DeviceMix& mix : mixes) {
       for (std::size_t p = 0; p < axis_size(policies_.size()); ++p) {
         for (std::size_t e = 0; e < axis_size(epochs_.size()); ++e) {
-          for (std::size_t m = 0; m < axis_size(migrations_.size()); ++m) {
-            for (std::size_t f = 0; f < axis_size(failures_.size()); ++f) {
-              for (std::size_t s = 0; s < axis_size(seeds_.size()); ++s) {
-                Scenario scenario;
-                scenario.index = scenarios.size();
-                scenario.region = region;
-                scenario.mix = mix;
-                scenario.config = base_;
-                if (!policies_.empty()) scenario.config.policy = policies_[p];
-                if (!epochs_.empty()) scenario.config.epochs = epochs_[e];
-                if (!migrations_.empty()) {
-                  scenario.config.reoptimize_every = migrations_[m].reoptimize_every;
-                  scenario.config.migration = migrations_[m].migration;
-                }
-                if (!failures_.empty()) scenario.config.failures = failures_[f].failures;
-                if (!seeds_.empty()) scenario.config.workload.seed = seeds_[s];
+          for (std::size_t l = 0; l < axis_size(rtt_limits_.size()); ++l) {
+            for (std::size_t a = 0; a < axis_size(arrival_rates_.size()); ++a) {
+              for (std::size_t d = 0; d < axis_size(defer_epochs_.size()); ++d) {
+                for (std::size_t fc = 0; fc < axis_size(forecasters_.size()); ++fc) {
+                  for (std::size_t m = 0; m < axis_size(migrations_.size()); ++m) {
+                    for (std::size_t f = 0; f < axis_size(failures_.size()); ++f) {
+                      for (std::size_t s = 0; s < axis_size(seeds_.size()); ++s) {
+                        Scenario scenario;
+                        scenario.index = scenarios.size();
+                        scenario.region = region;
+                        scenario.mix = mix;
+                        scenario.config = base_;
+                        if (!policies_.empty()) scenario.config.policy = policies_[p];
+                        if (!epochs_.empty()) scenario.config.epochs = epochs_[e];
+                        if (!rtt_limits_.empty()) {
+                          scenario.config.workload.latency_limit_rtt_ms = rtt_limits_[l];
+                        }
+                        if (!arrival_rates_.empty()) {
+                          scenario.config.workload.arrivals_per_site = arrival_rates_[a];
+                        }
+                        if (!defer_epochs_.empty()) {
+                          scenario.config.workload.max_defer_epochs = defer_epochs_[d];
+                        }
+                        if (!forecasters_.empty()) scenario.forecaster = forecasters_[fc];
+                        if (!migrations_.empty()) {
+                          scenario.config.reoptimize_every = migrations_[m].reoptimize_every;
+                          scenario.config.reoptimize_monthly = migrations_[m].reoptimize_monthly;
+                          scenario.config.migration = migrations_[m].migration;
+                        }
+                        if (!failures_.empty()) scenario.config.failures = failures_[f].failures;
+                        if (!seeds_.empty()) scenario.config.workload.seed = seeds_[s];
 
-                std::string label;
-                if (!regions_.empty()) append_label(label, "region=" + region_labels[r]);
-                if (!mixes_.empty()) append_label(label, "mix=" + mix.name);
-                if (!policies_.empty()) {
-                  append_label(label, "policy=" + core::describe(scenario.config.policy));
+                        std::string label;
+                        if (!regions_.empty()) append_label(label, "region=" + region_labels[r]);
+                        if (!mixes_.empty()) append_label(label, "mix=" + mix.name);
+                        if (!policies_.empty()) {
+                          append_label(label, "policy=" + core::describe(scenario.config.policy));
+                        }
+                        if (!epochs_.empty()) {
+                          append_label(label, "epochs=" + std::to_string(scenario.config.epochs));
+                        }
+                        if (!rtt_limits_.empty()) {
+                          append_label(label, "rtt=" + format_axis(rtt_limits_[l]));
+                        }
+                        if (!arrival_rates_.empty()) {
+                          append_label(label, "arrivals=" + format_axis(arrival_rates_[a]));
+                        }
+                        if (!defer_epochs_.empty()) {
+                          append_label(label, "defer=" + std::to_string(defer_epochs_[d]));
+                        }
+                        if (!forecasters_.empty()) {
+                          append_label(label, "forecast=" + forecasters_[fc]);
+                        }
+                        if (!migrations_.empty()) {
+                          append_label(label, "migration=" + migrations_[m].name);
+                        }
+                        if (!failures_.empty()) append_label(label, "failures=" + failures_[f].name);
+                        if (!seeds_.empty()) {
+                          append_label(label,
+                                       "seed=" + std::to_string(scenario.config.workload.seed));
+                        }
+                        if (label.empty()) label = "default";
+                        scenario.label = std::move(label);
+                        scenarios.push_back(std::move(scenario));
+                      }
+                    }
+                  }
                 }
-                if (!epochs_.empty()) {
-                  append_label(label, "epochs=" + std::to_string(scenario.config.epochs));
-                }
-                if (!migrations_.empty()) {
-                  append_label(label, "migration=" + migrations_[m].name);
-                }
-                if (!failures_.empty()) append_label(label, "failures=" + failures_[f].name);
-                if (!seeds_.empty()) {
-                  append_label(label, "seed=" + std::to_string(scenario.config.workload.seed));
-                }
-                if (label.empty()) label = "default";
-                scenario.label = std::move(label);
-                scenarios.push_back(std::move(scenario));
               }
             }
           }

@@ -24,6 +24,13 @@ struct DeviceMix {
   std::string name = "A2";
   std::vector<sim::DeviceType> devices = {sim::DeviceType::kA2};
   std::size_t servers_per_site = 1;
+  /// Population-proportional capacity (Section 6.3.4's "Capacity" skew):
+  /// when non-zero, the cluster is built as make_population_cluster(region,
+  /// total_servers, devices.front()) instead of servers_per_site per site.
+  std::size_t total_servers = 0;
+  /// Power off the last N servers of every site at construction (the
+  /// activation-term ablation starts its spare servers cold).
+  std::size_t initially_off_per_site = 0;
 };
 
 /// One migration-strategy axis value (re-optimization cadence + data-
@@ -31,6 +38,8 @@ struct DeviceMix {
 struct MigrationSpec {
   std::string name = "sticky";
   std::uint32_t reoptimize_every = 0;
+  /// Calendar-month-aligned re-optimization (overrides reoptimize_every).
+  bool reoptimize_monthly = false;
   core::MigrationConfig migration{};
 };
 
@@ -47,6 +56,9 @@ struct Scenario {
   std::string label;      // human-readable axis coordinates
   geo::Region region;
   DeviceMix mix;
+  /// Forecaster name for the cell's carbon service (carbon::make_forecaster;
+  /// empty keeps the service default, the oracle).
+  std::string forecaster;
   core::SimulationConfig config;
 };
 
@@ -54,8 +66,9 @@ struct Scenario {
 /// contribute a single cell carrying the base config's value, so a default-
 /// constructed grid expands to exactly one default scenario. Expansion is
 /// row-major in declaration order: region (outermost), device mix, policy,
-/// epochs, migration, failures, workload seed (innermost) — benches relying
-/// on positional indexing (e.g. pivot tables) can count on it.
+/// epochs, RTT limit, arrival rate, defer budget, forecaster, migration,
+/// failures, workload seed (innermost) — benches relying on positional
+/// indexing (e.g. pivot tables) can count on it.
 class ScenarioGrid {
  public:
   ScenarioGrid() = default;
@@ -66,6 +79,15 @@ class ScenarioGrid {
   ScenarioGrid& with_regions(std::vector<geo::Region> regions);
   ScenarioGrid& with_device_mixes(std::vector<DeviceMix> mixes);
   ScenarioGrid& with_epochs(std::vector<std::uint32_t> epochs);
+  /// Round-trip latency SLO sweep (workload.latency_limit_rtt_ms, Fig. 12).
+  ScenarioGrid& with_rtt_limits(std::vector<double> limits);
+  /// Arrival-intensity sweep (workload.arrivals_per_site, Fig. 16's low vs
+  /// high utilization).
+  ScenarioGrid& with_arrival_rates(std::vector<double> rates);
+  /// Temporal-flexibility sweep (workload.max_defer_epochs, Section 2.2).
+  ScenarioGrid& with_defer_epochs(std::vector<std::uint32_t> defers);
+  /// Forecaster sweep (carbon::make_forecaster names; the forecast ablation).
+  ScenarioGrid& with_forecasters(std::vector<std::string> forecasters);
   ScenarioGrid& with_migrations(std::vector<MigrationSpec> migrations);
   ScenarioGrid& with_failures(std::vector<FailureSpec> failures);
   ScenarioGrid& with_workload_seeds(std::vector<std::uint64_t> seeds);
@@ -84,6 +106,10 @@ class ScenarioGrid {
   std::vector<geo::Region> regions_;
   std::vector<DeviceMix> mixes_;
   std::vector<std::uint32_t> epochs_;
+  std::vector<double> rtt_limits_;
+  std::vector<double> arrival_rates_;
+  std::vector<std::uint32_t> defer_epochs_;
+  std::vector<std::string> forecasters_;
   std::vector<MigrationSpec> migrations_;
   std::vector<FailureSpec> failures_;
   std::vector<std::uint64_t> seeds_;

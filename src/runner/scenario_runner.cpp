@@ -1,5 +1,6 @@
 #include "runner/scenario_runner.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -14,18 +15,35 @@ namespace carbonedge::runner {
 namespace {
 
 sim::EdgeCluster build_cluster(const Scenario& scenario) {
+  const DeviceMix& mix = scenario.mix;
   // A single-device mix cycles trivially, so make_hetero_cluster covers the
-  // homogeneous case too.
-  return sim::make_hetero_cluster(scenario.region, scenario.mix.servers_per_site,
-                                  scenario.mix.devices);
+  // homogeneous case too; total_servers switches to population-proportional
+  // apportionment (the "Capacity" skew scenario).
+  sim::EdgeCluster cluster =
+      mix.total_servers > 0
+          ? sim::make_population_cluster(scenario.region, mix.total_servers, mix.devices.front())
+          : sim::make_hetero_cluster(scenario.region, mix.servers_per_site, mix.devices);
+  if (mix.initially_off_per_site > 0) {
+    for (sim::EdgeDataCenter& site : cluster.sites()) {
+      std::vector<sim::EdgeServer>& servers = site.servers();
+      const std::size_t off = std::min(mix.initially_off_per_site, servers.size());
+      for (std::size_t s = servers.size() - off; s < servers.size(); ++s) {
+        servers[s].set_powered_on(false);
+      }
+    }
+  }
+  return cluster;
 }
 
 // Distinct Region values can share a display name (e.g. cdn_region with
 // different site counts both yield "CDN Europe"), so service dedup must key
-// on the full identity: name plus the exact city list.
-std::string region_key(const geo::Region& region) {
-  std::string key = region.name;
-  for (const geo::CityId city : region.cities) {
+// on the full identity: name plus the exact city list. The forecaster is
+// part of the service state, so it joins the key too.
+std::string service_key(const Scenario& scenario) {
+  std::string key = scenario.forecaster;
+  key += '\n';
+  key += scenario.region.name;
+  for (const geo::CityId city : scenario.region.cities) {
     key += '|';
     key += std::to_string(city);
   }
@@ -41,18 +59,24 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(const ScenarioGrid& grid) const
 std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios) const {
   if (scenarios.empty()) return {};
 
-  // Synthesize each distinct region's traces once, serially, before any
-  // worker starts: services are then only read (const) concurrently. Each
-  // scenario's service pointer is resolved here too, keeping key building
-  // and map lookups off the dispatch path.
+  // Build each distinct (region, forecaster) service once, serially, before
+  // any worker starts: services are then only read (const) concurrently.
+  // Trace synthesis itself is additionally memoized process-wide by
+  // carbon::TraceCache, so repeat sweeps over the same zones share one
+  // immutable year-long series instead of re-synthesizing. Each scenario's
+  // service pointer is resolved here too, keeping key building and map
+  // lookups off the dispatch path.
   std::map<std::string, std::unique_ptr<carbon::CarbonIntensityService>> services;
   std::vector<const carbon::CarbonIntensityService*> cell_services;
   cell_services.reserve(scenarios.size());
   for (const Scenario& scenario : scenarios) {
-    auto& slot = services[region_key(scenario.region)];
+    auto& slot = services[service_key(scenario)];
     if (!slot) {
       slot = std::make_unique<carbon::CarbonIntensityService>();
       slot->add_region(scenario.region);
+      if (!scenario.forecaster.empty()) {
+        slot->set_forecaster(carbon::make_forecaster(scenario.forecaster));
+      }
     }
     cell_services.push_back(slot.get());
   }
@@ -81,15 +105,15 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios
 
 util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcomes) {
   util::Table table({"Scenario", "Carbon (kg)", "Energy (kWh)", "Mean RTT (ms)", "Placed",
-                     "Rejected", "Migrations", "Skipped", "Failures"});
+                     "Rejected", "ExpiredDef", "Migrations", "Skipped", "Failures"});
   for (const ScenarioOutcome& outcome : outcomes) {
     const core::SimulationResult& r = outcome.result;
     table.add_row({outcome.scenario.label, util::format_fixed(r.telemetry.total_carbon_kg(), 3),
                    util::format_fixed(r.telemetry.total_energy_wh() / 1e3, 3),
                    util::format_fixed(r.telemetry.mean_rtt_ms(), 2),
                    std::to_string(r.apps_placed), std::to_string(r.apps_rejected),
-                   std::to_string(r.migrations), std::to_string(r.migrations_skipped),
-                   std::to_string(r.server_failures)});
+                   std::to_string(r.apps_expired_deferred), std::to_string(r.migrations),
+                   std::to_string(r.migrations_skipped), std::to_string(r.server_failures)});
   }
   return table;
 }

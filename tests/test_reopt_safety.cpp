@@ -1,0 +1,231 @@
+// Regression tests for the re-optimization and lifetime accounting bugs:
+//
+//  * Re-optimization evicts live applications into the placement batch; when
+//    the solver rejected one (capacity taken by a competing batch member),
+//    the app used to vanish and be miscounted as a rejection. It must be
+//    restored and counted as a skipped migration instead.
+//  * `--remaining_epochs == 0` underflowed for applications admitted with
+//    remaining_epochs == 0, making them immortal.
+//  * Applications still deferred when the horizon ran out were invisible in
+//    every counter; they now flush into apps_expired_deferred.
+//  * Monthly re-optimization must align with calendar months, not a fixed
+//    31-day cadence.
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "carbon/caltime.hpp"
+#include "carbon/service.hpp"
+#include "geo/region.hpp"
+#include "sim/datacenter.hpp"
+
+namespace carbonedge::core {
+namespace {
+
+carbon::CarbonIntensityService make_service(const geo::Region& region) {
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  return service;
+}
+
+TEST(ReoptSafety, RejectedMigrantsAreRestoredNotLost) {
+  // A saturated month-long CDN slice with aggressive daily re-optimization:
+  // arrivals regularly compete with evicted migrants for the same slots, so
+  // the solver rejects some migrants. Each must be restored to its previous
+  // server and counted as a skipped migration. With cost_aware == false the
+  // cost filter can never skip, so on the unfixed engine migrations_skipped
+  // was structurally zero and the rejected migrants simply vanished — this
+  // test fails there.
+  const geo::Region region = geo::cdn_region(geo::Continent::kEurope, 12);
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.policy = PolicyConfig::carbon_edge();
+  config.epochs = 31 * 8;  // one month, 3h epochs
+  config.epoch_hours = 3.0;
+  config.workload.arrivals_per_site = 0.6;
+  config.workload.mean_lifetime_epochs = 40.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 20.0;
+  config.reoptimize_every = 8;  // daily
+  ASSERT_FALSE(config.migration.cost_aware);
+  const SimulationResult result = simulation.run(config);
+
+  // The scenario genuinely exercises the rejection path...
+  EXPECT_GT(result.migrations, 0u);
+  EXPECT_GT(result.migrations_skipped, 0u);
+  // ... and no migrant leaked into the retry queue past the horizon.
+  EXPECT_EQ(result.apps_expired_deferred, 0u);
+}
+
+TEST(ReoptSafety, ReoptimizationNeverReducesLiveAppsWithoutDepartures) {
+  // Immortal applications, no arrivals, no failures: with per-epoch
+  // re-optimization chasing two alternating-intensity zones, the set of
+  // live applications must stay constant for the whole run — any loss to a
+  // rejected re-placement would show up as a shrinking hosted count.
+  const geo::Region region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  const auto cities = region.resolve();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    std::vector<double> values(carbon::kHoursPerYear, 600.0);
+    if (i < 2) {
+      for (carbon::HourIndex h = 0; h < values.size(); ++h) {
+        const bool first_half = (h / 12) % 2 == 0;
+        values[h] = (i == 0) == first_half ? 50.0 : 550.0;
+      }
+    }
+    service.add_trace(carbon::CarbonTrace(cities[i].name, std::move(values)));
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 48;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 2;  // immortal
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 30.0;
+  config.reoptimize_every = 1;
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.migrations, 0u);
+  for (const sim::EpochRecord& record : result.telemetry.epochs()) {
+    std::uint32_t hosted = 0;
+    for (const auto& site : record.sites) hosted += site.apps_hosted;
+    EXPECT_EQ(hosted, 10u) << "live apps lost at epoch " << record.epoch;
+  }
+}
+
+TEST(ReoptSafety, CrashVictimsRetryInsteadOfBeingRejected) {
+  // Immortal applications on a near-full cluster with crash injection: when
+  // a server fails, its apps are re-batched; on the unfixed engine any the
+  // solver could not immediately re-place were dropped and counted as
+  // rejections (8 lost apps in this exact configuration). They must park
+  // and retry until the repaired capacity returns, so no app is ever
+  // rejected and all survive to the end of the run.
+  const geo::Region region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.policy = PolicyConfig::carbon_edge();
+  config.epochs = 80;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 6;  // immortal
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 30.0;
+  config.failures.mtbf_epochs = 25.0;
+  config.failures.repair_epochs = 6;
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.server_failures, 0u);
+  EXPECT_GT(result.apps_redeployed, 0u);
+  EXPECT_EQ(result.apps_rejected, 0u);  // crash victims retry, never vanish
+  std::uint32_t hosted = 0;
+  for (const auto& site : result.telemetry.epochs().back().sites) hosted += site.apps_hosted;
+  EXPECT_EQ(hosted, 30u);  // every immortal app survived the crash storm
+}
+
+TEST(ReoptSafety, ZeroLifetimeAppsDepartInsteadOfBecomingImmortal)  {
+  // remaining_epochs == 0 used to underflow to ~4B on the first departure
+  // sweep, keeping the app hosted for the rest of the run.
+  const geo::Region region = geo::florida_region();
+  const auto service = make_service(region);
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 6;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;
+  config.workload.initial_lifetime_epochs = 0;  // admitted already expired
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 25.0;
+  const SimulationResult result = simulation.run(config);
+  ASSERT_EQ(result.apps_placed, 5u);
+  // Hosted for at most their admission epoch, gone from epoch 1 onward.
+  for (const sim::EpochRecord& record : result.telemetry.epochs()) {
+    if (record.epoch == 0) continue;
+    std::uint32_t hosted = 0;
+    for (const auto& site : record.sites) hosted += site.apps_hosted;
+    EXPECT_EQ(hosted, 0u) << "zero-lifetime app immortal at epoch " << record.epoch;
+  }
+}
+
+TEST(ReoptSafety, ExpiredDeferredAppsAreCounted) {
+  // Monotonically decreasing intensity: "wait awhile" never sees the current
+  // hour beat the forecast, so deferred applications wait out any budget
+  // longer than the horizon and used to end the run uncounted.
+  const geo::Region region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  for (const geo::City& city : region.resolve()) {
+    std::vector<double> values(carbon::kHoursPerYear);
+    for (carbon::HourIndex h = 0; h < values.size(); ++h) {
+      // Steep enough that "now" never beats the forecast window minimum
+      // within the release heuristic's 2% tolerance.
+      values[h] = std::max(1.0, 1000.0 - static_cast<double>(h) * 10.0);
+    }
+    service.add_trace(carbon::CarbonTrace(city.name, std::move(values)));
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = 4;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.max_defer_epochs = 50;  // far beyond the horizon
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 25.0;
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.apps_deferred, 0u);
+  EXPECT_EQ(result.apps_expired_deferred, result.apps_deferred);
+  EXPECT_EQ(result.apps_placed, 0u);
+  EXPECT_EQ(result.apps_rejected, 0u);
+}
+
+TEST(ReoptSafety, MonthlyReoptimizationAlignsWithCalendarMonths) {
+  // reoptimize_monthly must fire exactly at the epochs whose hour crosses a
+  // carbon::month_start_hour boundary (the old 31*8-epoch cadence drifted
+  // off-calendar from February onward). Alternating-intensity zones make a
+  // migration happen at every re-optimization opportunity, so the epochs
+  // with migrations identify the cadence.
+  const geo::Region region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  const auto cities = region.resolve();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    std::vector<double> values(carbon::kHoursPerYear, 600.0);
+    if (i < 2) {
+      for (carbon::HourIndex h = 0; h < values.size(); ++h) {
+        // Which of the two zones is green flips every month.
+        const bool even_month = carbon::month_of_hour(h) % 2 == 0;
+        values[h] = (i == 0) == even_month ? 50.0 : 550.0;
+      }
+    }
+    service.add_trace(carbon::CarbonTrace(cities[i].name, std::move(values)));
+  }
+  EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  SimulationConfig config;
+  config.epochs = carbon::month_start_hour(4) / 3;  // Jan-Apr, 3h epochs
+  config.epoch_hours = 3.0;
+  config.workload.arrivals_per_site = 0.0;
+  config.workload.initial_per_site = 1;  // immortal
+  config.workload.model_weights = {0.0, 1.0, 0.0, 0.0};
+  config.workload.latency_limit_rtt_ms = 30.0;
+  config.reoptimize_monthly = true;
+  const SimulationResult result = simulation.run(config);
+  EXPECT_GT(result.migrations, 0u);
+
+  std::set<std::uint32_t> month_start_epochs;
+  for (std::uint32_t m = 1; m < carbon::kMonthsPerYear; ++m) {
+    month_start_epochs.insert(carbon::month_start_hour(m) / 3);
+  }
+  for (const sim::EpochRecord& record : result.telemetry.epochs()) {
+    if (record.migrations > 0) {
+      EXPECT_TRUE(month_start_epochs.contains(record.epoch))
+          << "migration at off-calendar epoch " << record.epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carbonedge::core

@@ -148,6 +148,133 @@ TEST(ScenarioRunner, DeterministicAcrossThreadCounts) {
             ScenarioRunner::summarize(parallel).to_string());
 }
 
+TEST(ScenarioGrid, WorkloadAxesOverrideBaseConfig) {
+  ScenarioGrid grid(small_config());
+  grid.with_rtt_limits({5.0, 30.0})
+      .with_arrival_rates({0.25})
+      .with_defer_epochs({12})
+      .with_forecasters({"persistence"});
+  EXPECT_EQ(grid.size(), 2u);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenarios[0].config.workload.latency_limit_rtt_ms, 5.0);
+  EXPECT_DOUBLE_EQ(scenarios[1].config.workload.latency_limit_rtt_ms, 30.0);
+  for (const Scenario& scenario : scenarios) {
+    EXPECT_DOUBLE_EQ(scenario.config.workload.arrivals_per_site, 0.25);
+    EXPECT_EQ(scenario.config.workload.max_defer_epochs, 12u);
+    EXPECT_EQ(scenario.forecaster, "persistence");
+  }
+  EXPECT_NE(scenarios[0].label.find("rtt=5"), std::string::npos);
+  EXPECT_NE(scenarios[0].label.find("arrivals=0.25"), std::string::npos);
+  EXPECT_NE(scenarios[0].label.find("defer=12"), std::string::npos);
+  EXPECT_NE(scenarios[0].label.find("forecast=persistence"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ForecasterAxisChangesPlacementAndServiceDedup) {
+  // Distinct forecasters over one region must not collapse onto a single
+  // carbon service; West US zone rankings are volatile enough that a lagging
+  // moving average places differently than the oracle within two days.
+  core::SimulationConfig config = small_config();
+  config.policy = core::PolicyConfig::carbon_edge();
+  config.epochs = 48;
+  config.forecast_horizon_hours = 6;
+  ScenarioGrid grid(config);
+  grid.with_regions({geo::west_us_region()}).with_forecasters({"oracle", "moving_average"});
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{2}).run(grid);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_NE(outcomes[0].scenario.label, outcomes[1].scenario.label);
+  EXPECT_EQ(outcomes[0].result.telemetry.size(), 48u);
+  EXPECT_EQ(outcomes[1].result.telemetry.size(), 48u);
+  // If the runner collapsed both cells onto one service (dropping the
+  // forecaster from the dedup key), the results would be identical.
+  EXPECT_NE(outcomes[0].result.telemetry.total_carbon_g(),
+            outcomes[1].result.telemetry.total_carbon_g());
+}
+
+TEST(ScenarioRunner, PopulationMixBuildsPopulationProportionalCluster) {
+  DeviceMix population;
+  population.name = "A2 (population)";
+  population.total_servers = 12;
+  ScenarioGrid grid(small_config());
+  grid.with_regions({geo::florida_region()}).with_device_mixes({population});
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{1}).run(grid);
+  ASSERT_EQ(outcomes.size(), 1u);
+  // Every site exists in the telemetry, and the apportionment matches the
+  // direct builder.
+  const auto cluster =
+      sim::make_population_cluster(geo::florida_region(), 12, sim::DeviceType::kA2);
+  ASSERT_FALSE(outcomes[0].result.telemetry.epochs().empty());
+  const auto& sites = outcomes[0].result.telemetry.epochs().front().sites;
+  EXPECT_EQ(sites.size(), cluster.size());
+}
+
+TEST(ScenarioRunner, InitiallyOffServersStartCold) {
+  // With every server initially off and power management disabled, nothing
+  // hosts until placement activates a server; the activation ablation
+  // relies on this starting state.
+  DeviceMix cold;
+  cold.name = "cold";
+  cold.servers_per_site = 2;
+  cold.initially_off_per_site = 1;
+  core::SimulationConfig config = small_config();
+  config.account_base_power = true;
+  ScenarioGrid cold_grid(config);
+  cold_grid.with_device_mixes({cold});
+  DeviceMix warm = cold;
+  warm.name = "warm";
+  warm.initially_off_per_site = 0;
+  ScenarioGrid warm_grid(config);
+  warm_grid.with_device_mixes({warm});
+  const ScenarioRunner runner(ScenarioRunnerOptions{2});
+  const auto cold_outcome = runner.run(cold_grid);
+  const auto warm_outcome = runner.run(warm_grid);
+  // Half the fleet starting powered off must show up as less base energy.
+  EXPECT_LT(cold_outcome[0].result.telemetry.total_energy_wh(),
+            warm_outcome[0].result.telemetry.total_energy_wh());
+}
+
+TEST(ScenarioRunner, GridDispatchMatchesHandRolledSerialLoop) {
+  // The ported benches promise byte-identical tables to their former serial
+  // loops: a grid cell must be indistinguishable from constructing the
+  // service, cluster, and simulation by hand.
+  core::SimulationConfig config = small_config();
+  config.epochs = 12;
+  const std::vector<core::PolicyConfig> policies = {core::PolicyConfig::latency_aware(),
+                                                    core::PolicyConfig::carbon_edge()};
+  const geo::Region region = geo::central_eu_region();
+
+  ScenarioGrid grid(config);
+  grid.with_regions({region}).with_policies(policies);
+  const auto outcomes = ScenarioRunner().run(grid);
+  ASSERT_EQ(outcomes.size(), policies.size());
+
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+  const auto serial = core::run_policies(simulation, config, policies);
+  ASSERT_EQ(serial.size(), outcomes.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].telemetry.total_carbon_g(),
+              outcomes[i].result.telemetry.total_carbon_g());
+    EXPECT_EQ(serial[i].telemetry.total_energy_wh(),
+              outcomes[i].result.telemetry.total_energy_wh());
+    EXPECT_EQ(serial[i].telemetry.mean_rtt_ms(), outcomes[i].result.telemetry.mean_rtt_ms());
+    EXPECT_EQ(serial[i].apps_placed, outcomes[i].result.apps_placed);
+    EXPECT_EQ(serial[i].apps_rejected, outcomes[i].result.apps_rejected);
+    EXPECT_EQ(serial[i].apps_expired_deferred, outcomes[i].result.apps_expired_deferred);
+    EXPECT_EQ(serial[i].migrations, outcomes[i].result.migrations);
+    EXPECT_EQ(serial[i].migrations_skipped, outcomes[i].result.migrations_skipped);
+  }
+}
+
+TEST(ScenarioRunner, SummaryReportsExpiredDeferredColumn) {
+  const ScenarioGrid grid(small_config());
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{1}).run(grid);
+  const util::Table table = ScenarioRunner::summarize(outcomes);
+  EXPECT_NE(table.to_string().find("ExpiredDef"), std::string::npos);
+}
+
 TEST(ScenarioRunner, SummaryHasOneRowPerScenarioInOrder) {
   ScenarioGrid grid(small_config());
   grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});

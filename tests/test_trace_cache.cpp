@@ -1,0 +1,135 @@
+#include "carbon/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "carbon/service.hpp"
+#include "geo/region.hpp"
+
+namespace carbonedge::carbon {
+namespace {
+
+ZoneSpec spec_of(const geo::Region& region, std::size_t index = 0) {
+  const auto cities = region.resolve();
+  return ZoneCatalog::builtin().spec_for(cities.at(index));
+}
+
+TEST(TraceCache, SameKeyReturnsSameSharedTrace) {
+  TraceCache cache;
+  const ZoneSpec zone = spec_of(geo::florida_region());
+  const SynthesizerParams params;
+  const auto first = cache.get(zone, params);
+  const auto second = cache.get(zone, params);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // shared, not equal-by-value
+  EXPECT_EQ(cache.syntheses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCache, CachedTraceMatchesDirectSynthesis) {
+  TraceCache cache;
+  const ZoneSpec zone = spec_of(geo::central_eu_region());
+  const SynthesizerParams params;
+  const CarbonTrace direct = TraceSynthesizer(params).synthesize(zone);
+  const auto cached = cache.get(zone, params);
+  ASSERT_EQ(cached->hours(), direct.hours());
+  for (HourIndex h = 0; h < 48; ++h) {
+    EXPECT_DOUBLE_EQ(cached->at(h), direct.at(h));
+  }
+}
+
+TEST(TraceCache, DifferentParamsSynthesizeDistinctTraces) {
+  TraceCache cache;
+  const ZoneSpec zone = spec_of(geo::florida_region());
+  SynthesizerParams a;
+  SynthesizerParams b;
+  b.seed = a.seed + 1;
+  const auto trace_a = cache.get(zone, a);
+  const auto trace_b = cache.get(zone, b);
+  EXPECT_NE(trace_a.get(), trace_b.get());
+  EXPECT_EQ(cache.syntheses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TraceCache, DifferentZonesSynthesizeDistinctTraces) {
+  TraceCache cache;
+  const geo::Region region = geo::florida_region();
+  const auto trace_a = cache.get(spec_of(region, 0));
+  const auto trace_b = cache.get(spec_of(region, 1));
+  EXPECT_NE(trace_a.get(), trace_b.get());
+  EXPECT_NE(trace_a->zone(), trace_b->zone());
+  EXPECT_EQ(cache.syntheses(), 2u);
+}
+
+TEST(TraceCache, ConcurrentLookupsSynthesizeOncePerKey) {
+  TraceCache cache;
+  const geo::Region region = geo::florida_region();
+  const std::vector<ZoneSpec> zones = {spec_of(region, 0), spec_of(region, 1),
+                                       spec_of(region, 2)};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 32;
+  std::vector<std::vector<std::shared_ptr<const CarbonTrace>>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        seen[t].push_back(cache.get(zones[i % zones.size()]));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Exactly one synthesis per distinct zone, no matter the interleaving...
+  EXPECT_EQ(cache.syntheses(), zones.size());
+  EXPECT_EQ(cache.size(), zones.size());
+  // ... and every thread observed the same shared instance per zone.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kIterations; ++i) {
+      EXPECT_EQ(seen[t][i].get(), seen[0][i % zones.size()].get());
+    }
+  }
+}
+
+TEST(TraceCache, ClearDropsEntriesButKeepsHandlesAlive) {
+  TraceCache cache;
+  const ZoneSpec zone = spec_of(geo::florida_region());
+  const auto held = cache.get(zone);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.syntheses(), 0u);
+  EXPECT_GT(held->hours(), 0u);  // the handle survives the eviction
+  const auto fresh = cache.get(zone);
+  EXPECT_NE(fresh.get(), held.get());  // re-synthesized after clear
+}
+
+TEST(TraceCache, ServicesOverTheSameRegionShareTraces) {
+  // The tentpole guarantee: constructing many services over one region
+  // synthesizes each zone's year-long series at most once per process and
+  // shares the immutable trace between them.
+  const geo::Region region = geo::italy_region();
+  CarbonIntensityService first;
+  first.add_region(region);
+  const std::uint64_t syntheses_after_first = TraceCache::global().syntheses();
+  CarbonIntensityService second;
+  second.add_region(region);
+  EXPECT_EQ(TraceCache::global().syntheses(), syntheses_after_first);  // all hits
+  for (const geo::City& city : region.resolve()) {
+    EXPECT_EQ(first.shared_trace(city.name).get(), second.shared_trace(city.name).get());
+  }
+}
+
+TEST(TraceCache, ManuallyAddedTracesBypassTheCache) {
+  // add_trace(CarbonTrace) registers ad-hoc series (tests, CSV loads)
+  // without touching the process-wide cache.
+  const std::uint64_t syntheses_before = TraceCache::global().syntheses();
+  CarbonIntensityService service;
+  service.add_trace(CarbonTrace("custom-zone", {100.0, 200.0}));
+  EXPECT_EQ(TraceCache::global().syntheses(), syntheses_before);
+  EXPECT_DOUBLE_EQ(service.intensity("custom-zone", 1), 200.0);
+}
+
+}  // namespace
+}  // namespace carbonedge::carbon
