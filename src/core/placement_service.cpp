@@ -18,8 +18,8 @@ PlacementResult PlacementService::place(const PlacementInput& input,
   const auto t1 = std::chrono::steady_clock::now();
   result.solve_time_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.objective = solution.total_cost;
-  result.used_exact_solver =
-      apps.size() * built.servers.size() <= options_.exact_size_limit && !built.problem.is_unit_slot();
+  result.solver_stats = solution.stats;
+  result.used_exact_solver = solution.stats.heuristic_shards == 0;
 
   // Commit: power on activated servers first (Eq. 5), then host.
   for (std::size_t j = 0; j < built.servers.size(); ++j) {

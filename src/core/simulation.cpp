@@ -341,8 +341,10 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
       } else {
         // No capacity anywhere this epoch (another app took the freed slot
         // and the cluster is saturated): keep the app alive and retry at the
-        // next epoch via the deferral queue rather than dropping it.
+        // next epoch via the deferral queue rather than dropping it. The
+        // epoch it sits out is real downtime for a live app — account it.
         displaced_from.insert_or_assign(id, home_site);
+        ++result.app_downtime_epochs;
         sim::Application retry = app;
         retry.max_defer_epochs = 0;
         deferred.push_back(std::move(retry));

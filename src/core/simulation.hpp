@@ -87,6 +87,11 @@ struct SimulationResult {
   /// placed+rejected totals would not reconcile with arrivals. Excludes
   /// displaced live apps awaiting re-placement (already in apps_placed).
   std::uint64_t apps_expired_deferred = 0;
+  /// Epochs of downtime served by displaced live applications: a rejected
+  /// migrant or crash victim that found no server this epoch survives in
+  /// the retry queue, but it hosts no requests until it lands again. Each
+  /// epoch spent parked adds one.
+  std::uint64_t app_downtime_epochs = 0;
 };
 
 /// Owns a pristine cluster copy; every run() starts from that state, so the

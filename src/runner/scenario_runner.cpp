@@ -105,7 +105,7 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios
 
 util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcomes) {
   util::Table table({"Scenario", "Carbon (kg)", "Energy (kWh)", "Mean RTT (ms)", "Placed",
-                     "Rejected", "ExpiredDef", "Migrations", "Skipped", "Failures"});
+                     "Rejected", "ExpiredDef", "Migrations", "Skipped", "Failures", "Downtime"});
   for (const ScenarioOutcome& outcome : outcomes) {
     const core::SimulationResult& r = outcome.result;
     table.add_row({outcome.scenario.label, util::format_fixed(r.telemetry.total_carbon_kg(), 3),
@@ -113,7 +113,8 @@ util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcom
                    util::format_fixed(r.telemetry.mean_rtt_ms(), 2),
                    std::to_string(r.apps_placed), std::to_string(r.apps_rejected),
                    std::to_string(r.apps_expired_deferred), std::to_string(r.migrations),
-                   std::to_string(r.migrations_skipped), std::to_string(r.server_failures)});
+                   std::to_string(r.migrations_skipped), std::to_string(r.server_failures),
+                   std::to_string(r.app_downtime_epochs)});
   }
   return table;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "solver/decompose.hpp"
 #include "solver/flow.hpp"
 
 namespace carbonedge::solver {
@@ -151,6 +153,16 @@ AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptio
       AssignmentSolution infeasible;
       infeasible.assignment.assign(apps, kUnassigned);
       infeasible.unassigned_count = apps;
+      // No shard was actually solved (the MILP was never built), so
+      // exact_shards stays 0. This monolithic path reports one component
+      // regardless of how many apps are unplaceable; only the sharded path
+      // isolates each unplaceable app as its own singleton component.
+      infeasible.stats.components = 1;
+      for (std::size_t a = 0; a < apps; ++a) {
+        bool any = false;
+        for (std::size_t j = 0; j < servers && !any; ++j) any = problem.feasible_pair(a, j);
+        if (!any) ++infeasible.stats.unplaceable_apps;
+      }
       return infeasible;  // some app has no feasible server at all
     }
     lp.add_constraint(std::move(terms), Sense::kEqual, 1.0);
@@ -170,15 +182,16 @@ AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptio
         lp.add_constraint(std::move(terms), Sense::kLessEqual, problem.capacity(j, k));
       }
     }
-    // Eq. 5 linking (aggregated form): sum_i x_ij <= apps * y_j. The
-    // capacity rows already gate load by y; this covers zero-demand apps.
+    // Eq. 5 linking, per pair: x_ij <= y_j. The aggregated big-M form
+    // (sum_i x_ij <= apps * y_j) admits fractional y_j = 1/apps at the
+    // relaxation, so its LP bound barely reflects activation costs; the
+    // per-pair rows are the tightest linear linking and make incumbent
+    // pruning bite far earlier (fewer B&B nodes per exact solve).
     if (y_var[j] >= 0) {
-      std::vector<std::pair<int, double>> terms;
       for (std::size_t i = 0; i < apps; ++i) {
-        if (x_var[i][j] >= 0) terms.emplace_back(x_var[i][j], 1.0);
+        if (x_var[i][j] < 0) continue;
+        lp.add_constraint({{x_var[i][j], 1.0}, {y_var[j], -1.0}}, Sense::kLessEqual, 0.0);
       }
-      terms.emplace_back(y_var[j], -static_cast<double>(apps));
-      lp.add_constraint(std::move(terms), Sense::kLessEqual, 0.0);
     }
   }
 
@@ -200,9 +213,22 @@ AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptio
 
   const MilpSolution milp = solve_milp(lp, integer_vars, options, warm);
   if (milp.status != MilpStatus::kOptimal && milp.status != MilpStatus::kFeasible) {
+    // The search came up empty (node budget exhausted before any incumbent,
+    // or a numerically stranded warm start). The greedy placement is still a
+    // valid answer that direct callers would otherwise lose — return it
+    // instead of an all-kUnassigned shell.
+    if (greedy.feasible) {
+      greedy.stats.components = 1;
+      greedy.stats.heuristic_shards = 1;
+      greedy.stats.milp_nodes = milp.nodes_explored;
+      return greedy;
+    }
     AssignmentSolution infeasible;
     infeasible.assignment.assign(apps, kUnassigned);
     infeasible.unassigned_count = apps;
+    infeasible.stats.components = 1;
+    infeasible.stats.exact_shards = 1;
+    infeasible.stats.milp_nodes = milp.nodes_explored;
     return infeasible;
   }
 
@@ -215,7 +241,11 @@ AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptio
       }
     }
   }
-  return evaluate(problem, assignment);
+  AssignmentSolution solution = evaluate(problem, assignment);
+  solution.stats.components = 1;
+  solution.stats.exact_shards = 1;
+  solution.stats.milp_nodes = milp.nodes_explored;
+  return solution;
 }
 
 // ---------------------------------------------------------------------------
@@ -258,7 +288,10 @@ AssignmentSolution solve_flow(const AssignmentProblem& problem) {
       }
     }
   }
-  return evaluate(problem, assignment);
+  AssignmentSolution solution = evaluate(problem, assignment);
+  solution.stats.components = 1;
+  solution.stats.flow_shards = 1;
+  return solution;
 }
 
 // ---------------------------------------------------------------------------
@@ -358,7 +391,10 @@ AssignmentSolution solve_greedy(const AssignmentProblem& problem) {
     placed[pick] = 1;
     state.commit(problem, pick, pick_server);
   }
-  return evaluate(problem, assignment);
+  AssignmentSolution solution = evaluate(problem, assignment);
+  solution.stats.components = 1;
+  solution.stats.heuristic_shards = 1;
+  return solution;
 }
 
 std::size_t improve_local_search(const AssignmentProblem& problem, AssignmentSolution& solution,
@@ -454,13 +490,29 @@ std::size_t improve_local_search(const AssignmentProblem& problem, AssignmentSol
     if (!improved) break;
   }
 
-  const AssignmentSolution refreshed = evaluate(problem, solution.assignment);
-  solution = refreshed;
+  AssignmentSolution refreshed = evaluate(problem, solution.assignment);
+  refreshed.stats = solution.stats;  // improvement does not change the path taken
+  solution = std::move(refreshed);
   return improvements;
 }
 
-AssignmentSolution solve_auto(const AssignmentProblem& problem, const AssignmentOptions& options) {
-  if (problem.is_unit_slot()) return solve_flow(problem);
+AssignmentSolution solve_unsharded(const AssignmentProblem& problem,
+                                   const AssignmentOptions& options) {
+  if (problem.is_unit_slot()) {
+    AssignmentSolution flow = solve_flow(problem);
+    if (flow.unassigned_count == 0) return flow;
+    // Some apps came back unassigned (unplaceable, or capacity-starved):
+    // fall back to greedy + local search the way the exact path does, and
+    // keep whichever partial answer places more apps, then costs less.
+    AssignmentSolution fallback = solve_greedy(problem);
+    improve_local_search(problem, fallback, options.local_search_rounds);
+    if (fallback.unassigned_count < flow.unassigned_count ||
+        (fallback.unassigned_count == flow.unassigned_count &&
+         fallback.total_cost < flow.total_cost - 1e-9)) {
+      return fallback;
+    }
+    return flow;
+  }
   if (problem.num_apps() * problem.num_servers() <= options.exact_size_limit) {
     AssignmentSolution exact = solve_exact(problem, options.milp);
     if (exact.feasible) return exact;
@@ -468,6 +520,15 @@ AssignmentSolution solve_auto(const AssignmentProblem& problem, const Assignment
   AssignmentSolution solution = solve_greedy(problem);
   improve_local_search(problem, solution, options.local_search_rounds);
   return solution;
+}
+
+AssignmentSolution solve_auto(const AssignmentProblem& problem, const AssignmentOptions& options) {
+  // Unit-slot instances keep the monolithic min-cost-flow path: it is
+  // already exact and near-linear in the pair count, so decomposing would
+  // only perturb equal-cost tie-breaking. Everything else is sharded so
+  // exact_size_limit applies per connected component.
+  if (!options.shard || problem.is_unit_slot()) return solve_unsharded(problem, options);
+  return solve_sharded(problem, options);
 }
 
 }  // namespace carbonedge::solver

@@ -15,7 +15,10 @@
 //                    instances with no activation costs (the CDN case).
 //  * solve_greedy + improve_local_search — regret greedy with relocate/swap
 //                    improvement; any scale, near-optimal in practice.
-// solve_auto picks the cheapest exact path that applies, else the heuristic.
+// solve_auto first shards the instance into connected components of the
+// feasible-pair graph (see decompose.hpp — latency pre-filtering makes real
+// batches block-diagonal, and the decomposition is exact) and then picks the
+// cheapest exact path that applies per component, else the heuristic.
 #pragma once
 
 #include <cstdint>
@@ -79,12 +82,26 @@ class AssignmentProblem {
   std::vector<std::uint8_t> initially_on_;
 };
 
+/// How a solver call answered: the decomposition shape and the path that
+/// solved each shard. Solvers fill this in on the solutions they return;
+/// evaluate() leaves it zeroed (a hand-built solution has no solve path).
+struct SolveStats {
+  std::size_t components = 0;       // connected components (1 = monolithic)
+  std::size_t exact_shards = 0;     // components solved by the MILP
+  std::size_t flow_shards = 0;      // components solved by min-cost flow
+  std::size_t heuristic_shards = 0; // components solved by greedy + local search
+  std::size_t unplaceable_apps = 0; // apps with no feasible server at all
+  std::size_t milp_nodes = 0;       // total B&B nodes across exact shards
+  std::size_t largest_shard_apps = 0;
+};
+
 struct AssignmentSolution {
   bool feasible = false;
   std::vector<std::size_t> assignment;    // app -> server, kUnassigned if unplaced
   std::vector<std::uint8_t> powered_on;   // final y_j
   double total_cost = 0.0;                // placement + activation of new servers
   std::size_t unassigned_count = 0;
+  SolveStats stats;                       // telemetry; not part of the answer
 };
 
 /// Recompute cost/power state/feasibility of an assignment vector.
@@ -101,7 +118,18 @@ struct AssignmentOptions {
   std::size_t local_search_rounds = 20;
   /// Use the exact MILP when num_apps*num_servers is at most this (testbed
   /// scale); larger instances take the flow or greedy + local-search path.
+  /// With sharding the limit applies per connected component, so large
+  /// batches that decompose into testbed-scale shards still solve exactly.
   std::size_t exact_size_limit = 64;
+  /// Decompose into connected components of the feasible-pair graph before
+  /// solving (exact — see decompose.hpp). Disable to force the monolithic
+  /// paths. Unit-slot instances always stay monolithic: min-cost flow is
+  /// already exact and near-linear, so sharding them buys nothing.
+  bool shard = true;
+  /// Worker threads for component dispatch (0 = the process-global pool;
+  /// nested use inside a pool worker degrades to inline execution). The
+  /// result is bit-identical for every thread count.
+  std::size_t shard_threads = 0;
 };
 
 [[nodiscard]] AssignmentSolution solve_exact(const AssignmentProblem& problem,
@@ -113,8 +141,16 @@ struct AssignmentOptions {
 std::size_t improve_local_search(const AssignmentProblem& problem, AssignmentSolution& solution,
                                  std::size_t max_rounds = 20);
 
-/// Pick a path: flow when unit-slot, exact MILP when small, else greedy +
-/// local search.
+/// Pick a path for one (assumed connected) instance without decomposing:
+/// flow when unit-slot (falling back to greedy + local search when any app
+/// comes back unassigned, keeping the better of the two partial answers),
+/// exact MILP when within exact_size_limit (falling back to its greedy
+/// incumbent on MILP failure), else greedy + local search.
+[[nodiscard]] AssignmentSolution solve_unsharded(const AssignmentProblem& problem,
+                                                 const AssignmentOptions& options = {});
+
+/// Pick a path: monolithic flow when unit-slot, otherwise shard into
+/// connected components (exact) and route each through solve_unsharded.
 [[nodiscard]] AssignmentSolution solve_auto(const AssignmentProblem& problem,
                                             const AssignmentOptions& options = {});
 

@@ -1,0 +1,52 @@
+// Placement-instance sharding: connected-component decomposition of the
+// feasible-pair bipartite graph.
+//
+// Eq. 2 latency pre-filtering makes real placement batches block-diagonal:
+// an application in one metro cannot land on another metro's servers, so
+// the AssignmentProblem almost always splits into independent components
+// (union-find over apps ∪ servers joined by feasible pairs). Costs,
+// demands, capacities, and activation costs never couple two components —
+// every server belongs to at most one — so solving each component
+// separately and stitching the sub-solutions back is exact: the stitched
+// cost equals the monolithic optimum whenever every component is solved
+// exactly. Components are dispatched onto util::ThreadPool with disjoint
+// result slots (bit-identical across thread counts, like ScenarioRunner),
+// and solve_auto applies exact_size_limit per component, so batches that
+// were heuristic-only as monoliths become exactly solvable shard by shard.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/assignment.hpp"
+
+namespace carbonedge::solver {
+
+/// One connected component of the feasible-pair graph: parent-problem app
+/// and server indices, each in increasing order (extraction preserves
+/// relative order, so per-component solves are deterministic).
+struct Component {
+  std::vector<std::size_t> apps;
+  std::vector<std::size_t> servers;
+};
+
+/// Connected components, ordered by smallest app index. Every component has
+/// at least one app; an app with no feasible server forms an app-only
+/// singleton (empty server list). Servers with no feasible app belong to no
+/// component — they cannot receive load and keep their initial power state.
+[[nodiscard]] std::vector<Component> connected_components(const AssignmentProblem& problem);
+
+/// The sub-problem induced by `component`: row/column `k` of the result is
+/// app `component.apps[k]` / server `component.servers[k]` of `problem`.
+[[nodiscard]] AssignmentProblem extract_component(const AssignmentProblem& problem,
+                                                  const Component& component);
+
+/// Solve by decomposition: each component goes through solve_unsharded
+/// (exact_size_limit applies per component) on `options.shard_threads` pool
+/// workers with disjoint result slots, and the sub-solutions are stitched
+/// back. Exact whenever every component is solved exactly; the returned
+/// stats report the decomposition shape and per-shard paths.
+[[nodiscard]] AssignmentSolution solve_sharded(const AssignmentProblem& problem,
+                                               const AssignmentOptions& options = {});
+
+}  // namespace carbonedge::solver

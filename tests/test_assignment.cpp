@@ -204,6 +204,57 @@ TEST(SolveAuto, UsesFlowForUnitSlot) {
   ASSERT_TRUE(sol.feasible);
   const AssignmentSolution exact = solve_exact(p);
   EXPECT_NEAR(sol.total_cost, exact.total_cost, 1e-9);
+  EXPECT_EQ(sol.stats.flow_shards, 1u);
+}
+
+// Regression (fallback bug): solve_auto used to hand back the flow answer
+// unconditionally on unit-slot instances. With an unplaceable app the whole
+// solution came back infeasible-flagged without ever consulting the greedy
+// + local-search fallback the exact path gets. The flow path must now fall
+// back and return an answer that places every placeable app and is never
+// worse than greedy + local search.
+TEST(SolveAuto, FlowPathFallsBackWhenAppsComeBackUnassigned) {
+  AssignmentProblem p = simple_problem(3, 2);
+  p.set_capacity(0, 0, 1.0);
+  p.set_capacity(1, 0, 1.0);
+  p.set_cost(2, 0, kInfinity);  // app 2 has no feasible server at all
+  p.set_cost(2, 1, kInfinity);
+  ASSERT_TRUE(p.is_unit_slot());
+
+  const AssignmentSolution sol = solve_auto(p);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_EQ(sol.unassigned_count, 1u);
+  EXPECT_NE(sol.assignment[0], kUnassigned);  // placeable apps still land
+  EXPECT_NE(sol.assignment[1], kUnassigned);
+  EXPECT_EQ(sol.assignment[2], kUnassigned);
+
+  // Never worse than the heuristic fallback it now consults.
+  AssignmentSolution heuristic = solve_greedy(p);
+  improve_local_search(p, heuristic);
+  EXPECT_LE(sol.unassigned_count, heuristic.unassigned_count);
+  if (sol.unassigned_count == heuristic.unassigned_count) {
+    EXPECT_LE(sol.total_cost, heuristic.total_cost + 1e-9);
+  }
+}
+
+// Regression (fallback bug): when B&B comes up with no incumbent at all
+// (node budget exhausted before the first integer point, or a numerically
+// stranded warm start — simulated here by rejecting every warm value via a
+// hostile integrality tolerance on a zero-node budget), solve_exact used to
+// discard the feasible greedy placement it had already computed and return
+// an all-kUnassigned shell. It must return the greedy incumbent instead.
+TEST(SolveExact, ReturnsGreedyIncumbentWhenSearchComesUpEmpty) {
+  AssignmentProblem p = simple_problem(3, 2);
+  MilpOptions starved;
+  starved.max_nodes = 0;
+  starved.integrality_tolerance = -1.0;
+  const AssignmentSolution sol = solve_exact(p, starved);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.unassigned_count, 0u);
+  EXPECT_TRUE(validate(p, sol));
+  // The answer is the heuristic incumbent, not a proven optimum.
+  EXPECT_EQ(sol.stats.heuristic_shards, 1u);
+  EXPECT_EQ(sol.stats.exact_shards, 0u);
 }
 
 // Property suite: random multi-resource instances — exact is never worse

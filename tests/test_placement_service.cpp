@@ -144,6 +144,20 @@ TEST(PlacementService, ReportsSolveTime) {
   EXPECT_LT(result.solve_time_ms, 3000.0);  // Section 6.5 bound
 }
 
+TEST(PlacementService, ReportsPerShardSolverTelemetry) {
+  Fixture f;
+  PlacementService service(PolicyConfig::carbon_edge());
+  const PlacementResult result = service.place(f.input(), f.one_per_site());
+  const solver::SolveStats& stats = result.solver_stats;
+  EXPECT_GE(stats.components, 1u);
+  // Every solved shard took exactly one of the three paths, and the
+  // exact-solver flag mirrors "no shard fell through to the heuristic".
+  EXPECT_EQ(stats.components,
+            stats.exact_shards + stats.flow_shards + stats.heuristic_shards +
+                stats.unplaceable_apps);
+  EXPECT_EQ(result.used_exact_solver, stats.heuristic_shards == 0);
+}
+
 TEST(PlacementService, DecisionsCarryPhysicalQuantities) {
   Fixture f;
   PlacementService service(PolicyConfig::carbon_edge());

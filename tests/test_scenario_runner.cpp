@@ -275,6 +275,13 @@ TEST(ScenarioRunner, SummaryReportsExpiredDeferredColumn) {
   EXPECT_NE(table.to_string().find("ExpiredDef"), std::string::npos);
 }
 
+TEST(ScenarioRunner, SummaryReportsDowntimeColumn) {
+  const ScenarioGrid grid(small_config());
+  const auto outcomes = ScenarioRunner(ScenarioRunnerOptions{1}).run(grid);
+  const util::Table table = ScenarioRunner::summarize(outcomes);
+  EXPECT_NE(table.to_string().find("Downtime"), std::string::npos);
+}
+
 TEST(ScenarioRunner, SummaryHasOneRowPerScenarioInOrder) {
   ScenarioGrid grid(small_config());
   grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()});
