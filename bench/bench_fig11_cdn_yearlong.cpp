@@ -14,8 +14,11 @@
 
 using namespace carbonedge;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 11", "Year-long CDN evaluation (US and Europe)");
+  // --store: resume the four year-long cells from the persistent artifact
+  // store (and publish fresh ones into it); traces load from its L2 tier.
+  const auto sweep_store = bench::init_store(argc, argv);
 
   const std::vector<geo::Continent> continents = {geo::Continent::kNorthAmerica,
                                                   geo::Continent::kEurope};
@@ -28,7 +31,10 @@ int main() {
 
   runner::ScenarioGrid grid(bench::apply_smoke_epochs(bench::cdn_config()));
   grid.with_regions(regions).with_policies(policies);
-  const auto outcomes = runner::ScenarioRunner().run(grid);
+  const auto outcomes =
+      runner::ScenarioRunner(runner::ScenarioRunnerOptions{.threads = 0,
+                                                           .sweep_store = sweep_store})
+          .run(grid);
 
   util::Table summary({"Continent", "Sites", "Latency-aware (kg)", "CarbonEdge (kg)",
                        "Saving", "dRTT (ms)"});
@@ -90,5 +96,6 @@ int main() {
   bench::print_takeaway(
       "CarbonEdge shifts the load distribution toward low-carbon zones; Europe saves more "
       "than the US (paper: 67.8% vs 49.5%).");
+  bench::print_store_stats(sweep_store);
   return 0;
 }

@@ -6,11 +6,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "carbon/trace_cache.hpp"
 #include "core/simulation.hpp"
+#include "store/sweep_store.hpp"
 #include "util/table.hpp"
 
 namespace carbonedge::bench {
@@ -45,6 +49,46 @@ inline core::SimulationConfig apply_smoke_epochs(core::SimulationConfig config) 
     }
   }
   return config;
+}
+
+/// Persistent-store warm path for the year-long benches: `--store[=DIR]`
+/// (or the CARBONEDGE_STORE_DIR environment variable) attaches the on-disk
+/// artifact store to the process-wide TraceCache and returns a SweepStore
+/// to hand to ScenarioRunnerOptions::sweep_store. The flag is removed from
+/// argv so harnesses that parse the remaining arguments (google-benchmark)
+/// never see it. Returns nullptr when the store is off.
+inline std::shared_ptr<store::SweepStore> init_store(int& argc, char** argv) {
+  std::string dir;
+  if (const char* env = std::getenv("CARBONEDGE_STORE_DIR")) dir = env;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--store") == 0 || std::strncmp(arg, "--store=", 8) == 0) {
+      if (arg[7] == '=' && arg[8] != '\0') {
+        dir = arg + 8;  // explicit value wins over the environment
+      } else if (dir.empty()) {
+        dir = ".carbonedge-store";  // bare --store (or --store=): env, else default
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  if (dir.empty()) return nullptr;
+  auto artifacts = std::make_shared<store::ArtifactStore>(dir);
+  carbon::TraceCache::global().set_store(artifacts);
+  return std::make_shared<store::SweepStore>(std::move(artifacts));
+}
+
+/// Store hit counters (printed at the end of a --store run): a warmed
+/// second run reports zero syntheses — everything came from disk.
+inline void print_store_stats(const std::shared_ptr<store::SweepStore>& sweeps) {
+  if (sweeps == nullptr) return;
+  const carbon::TraceCache& cache = carbon::TraceCache::global();
+  std::cout << "[store " << sweeps->artifacts()->root().string() << "] traces: "
+            << cache.syntheses() << " synthesized, " << cache.disk_hits()
+            << " loaded from disk, " << cache.hits() << " memory hits; sweep cells: "
+            << sweeps->stores() << " computed+saved, " << sweeps->hits()
+            << " resumed from disk\n";
 }
 
 /// The four evaluation policies in the paper's order (Section 6.1.3).

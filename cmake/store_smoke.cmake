@@ -1,0 +1,32 @@
+# CTest driver for examples.cli_store_smoke: exercises the carbonedge_cli
+# store subcommands end to end against a scratch store directory.
+#
+#   warm   (cold)  -> synthesizes the region's traces into the store
+#   warm   (again) -> must load everything from disk ("0 traces synthesized")
+#   verify         -> every entry checksums clean
+#
+# Invoked as: cmake -DCLI=<binary> -DSTORE_DIR=<dir> -P store_smoke.cmake
+file(REMOVE_RECURSE "${STORE_DIR}")
+
+foreach(attempt cold warm)
+  execute_process(
+    COMMAND "${CLI}" store --dir "${STORE_DIR}" warm florida
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "store warm (${attempt}) failed (${status}):\n${output}")
+  endif()
+  if(attempt STREQUAL "warm" AND NOT output MATCHES "0 traces synthesized")
+    message(FATAL_ERROR "warm rerun re-synthesized traces:\n${output}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CLI}" store --dir "${STORE_DIR}" verify
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0 OR NOT output MATCHES "0 corrupt")
+  message(FATAL_ERROR "store verify failed (${status}):\n${output}")
+endif()

@@ -7,15 +7,26 @@
 //                                               run a regional simulation
 //   carbonedge_cli export-traces <region> <file.csv>
 //                                               dump synthetic traces as CSV
+//   carbonedge_cli store warm [region...]       pre-synthesize traces into the
+//                                               persistent artifact store
+//   carbonedge_cli store ls | verify | gc       inspect / checksum / clean it
+//
+// The store subcommands operate on CARBONEDGE_STORE_DIR (or the directory
+// given as `store --dir <path> <subcommand>`).
 //
 // Regions: florida, west_us, italy, central_eu, cdn_us, cdn_eu.
 // Policies: latency, energy, intensity, carbonedge, alpha=<0..1>.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/mesoscale.hpp"
+#include "carbon/trace_cache.hpp"
 #include "carbon/trace_io.hpp"
 #include "core/simulation.hpp"
+#include "store/artifact_store.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;
@@ -24,9 +35,11 @@ namespace {
 
 int usage() {
   std::cerr << "usage: carbonedge_cli zones | analyze <region> | radius <km> |\n"
-               "       simulate <region> <policy> <epochs> | export-traces <region> <file>\n"
+               "       simulate <region> <policy> <epochs> | export-traces <region> <file> |\n"
+               "       store [--dir <path>] warm [region...] | ls | verify | gc\n"
                "regions: florida west_us italy central_eu cdn_us cdn_eu\n"
-               "policies: latency energy intensity carbonedge alpha=<0..1>\n";
+               "policies: latency energy intensity carbonedge alpha=<0..1>\n"
+               "store dir: CARBONEDGE_STORE_DIR or store --dir <path>\n";
   return 2;
 }
 
@@ -145,6 +158,92 @@ int cmd_export(const std::string& region_name, const std::string& path) {
   return 0;
 }
 
+// ----------------------------------------------------------------- store --
+
+int cmd_store_warm(const std::shared_ptr<store::ArtifactStore>& artifacts,
+                   std::vector<std::string> region_names) {
+  if (region_names.empty()) {
+    region_names = {"florida", "west_us", "italy", "central_eu", "cdn_us", "cdn_eu"};
+  }
+  carbon::TraceCache& cache = carbon::TraceCache::global();
+  cache.set_store(artifacts);
+  const std::uint64_t syntheses_before = cache.syntheses();
+  const std::uint64_t disk_before = cache.disk_hits();
+  util::Table table({"Region", "Zones"});
+  for (const std::string& name : region_names) {
+    const geo::Region region = region_by_name(name);
+    carbon::CarbonIntensityService service;
+    service.add_region(region);
+    table.add_row({region.name, std::to_string(region.cities.size())});
+  }
+  table.print(std::cout);
+  std::cout << "store " << artifacts->root().string() << ": "
+            << (cache.syntheses() - syntheses_before) << " traces synthesized, "
+            << (cache.disk_hits() - disk_before) << " already on disk\n";
+  return 0;
+}
+
+int cmd_store_ls(const store::ArtifactStore& artifacts) {
+  util::Table table({"Kind", "Key", "Bytes"});
+  table.set_title("artifact store " + artifacts.root().string());
+  std::uintmax_t total = 0;
+  const auto entries = artifacts.list();
+  for (const auto& entry : entries) {
+    table.add_row({store::to_string(entry.kind), entry.key, std::to_string(entry.file_bytes)});
+    total += entry.file_bytes;
+  }
+  table.print(std::cout);
+  std::cout << entries.size() << " entries, " << total << " bytes\n";
+  return 0;
+}
+
+int cmd_store_verify(const store::ArtifactStore& artifacts) {
+  std::size_t ok = 0;
+  std::size_t corrupt = 0;
+  for (const auto& entry : artifacts.list(/*verify=*/true)) {
+    if (entry.intact) {
+      ++ok;
+    } else {
+      ++corrupt;
+      std::cout << "CORRUPT " << store::to_string(entry.kind) << "/" << entry.key << "\n";
+    }
+  }
+  std::cout << ok << " intact, " << corrupt << " corrupt\n";
+  return corrupt == 0 ? 0 : 1;
+}
+
+int cmd_store_gc(const store::ArtifactStore& artifacts) {
+  const store::ArtifactStore::GcReport report = artifacts.gc();
+  std::cout << "removed " << report.removed_files << " files ("
+            << report.reclaimed_bytes << " bytes: temp leftovers + corrupt entries)\n";
+  return 0;
+}
+
+int cmd_store(int argc, char** argv) {
+  // `store [--dir <path>] <subcommand> [args...]`; without --dir the
+  // directory comes from CARBONEDGE_STORE_DIR.
+  std::vector<std::string> args(argv + 2, argv + argc);
+  std::string dir;
+  if (const char* env = std::getenv("CARBONEDGE_STORE_DIR")) dir = env;
+  if (args.size() >= 2 && args[0] == "--dir") {
+    dir = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+  }
+  if (args.empty()) return usage();
+  if (dir.empty()) {
+    std::cerr << "error: no store directory (set CARBONEDGE_STORE_DIR or pass --dir)\n";
+    return 2;
+  }
+  const auto artifacts = std::make_shared<store::ArtifactStore>(dir);
+  const std::string sub = args[0];
+  args.erase(args.begin());
+  if (sub == "warm") return cmd_store_warm(artifacts, std::move(args));
+  if (sub == "ls") return cmd_store_ls(*artifacts);
+  if (sub == "verify") return cmd_store_verify(*artifacts);
+  if (sub == "gc") return cmd_store_gc(*artifacts);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +257,7 @@ int main(int argc, char** argv) {
       return cmd_simulate(argv[2], argv[3], static_cast<std::uint32_t>(std::stoul(argv[4])));
     }
     if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
+    if (command == "store" && argc >= 3) return cmd_store(argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -1,60 +1,114 @@
 #include "carbon/trace_cache.hpp"
 
-#include <bit>
-#include <functional>
+#include "store/artifact_store.hpp"
+#include "store/codecs.hpp"
+#include "util/hash.hpp"
 
 namespace carbonedge::carbon {
 
-namespace {
-
-void hash_mix(std::size_t& h, std::uint64_t v) noexcept {
-  h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-}
-
-void hash_mix(std::size_t& h, double v) noexcept {
-  // Normalize -0.0 so equal params always hash equally.
-  hash_mix(h, std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
-}
-
-}  // namespace
-
-std::size_t TraceCache::KeyHash::operator()(const Key& key) const noexcept {
-  std::size_t h = std::hash<std::string>{}(key.zone);
-  const SynthesizerParams& p = key.params;
-  hash_mix(h, p.seed);
-  hash_mix(h, static_cast<std::uint64_t>(p.hours));
-  hash_mix(h, p.cloud_persistence);
-  hash_mix(h, p.cloud_noise);
-  hash_mix(h, p.wind_persistence);
-  hash_mix(h, p.wind_noise);
-  hash_mix(h, p.demand_noise);
-  hash_mix(h, p.nuclear_capacity_factor);
-  hash_mix(h, p.hydro_capacity_factor);
-  hash_mix(h, p.grid_import_fraction);
-  return h;
+std::string TraceCache::key_of(const ZoneSpec& zone, const SynthesizerParams& params) {
+  util::Fingerprint fp;
+  fp.mix("carbonedge/trace/v1");  // schema salt: invalidates keys if the field list changes
+  fp.mix(zone.name);
+  fp.mix(static_cast<std::uint64_t>(zone.city));
+  fp.mix(zone.latitude_deg);
+  for (const double share : zone.capacity.shares()) fp.mix(share);
+  fp.mix(zone.demand_peak);
+  fp.mix(zone.demand_base);
+  fp.mix(params.seed);
+  fp.mix(params.hours);
+  fp.mix(params.cloud_persistence);
+  fp.mix(params.cloud_noise);
+  fp.mix(params.wind_persistence);
+  fp.mix(params.wind_noise);
+  fp.mix(params.demand_noise);
+  fp.mix(params.nuclear_capacity_factor);
+  fp.mix(params.hydro_capacity_factor);
+  fp.mix(params.grid_import_fraction);
+  return fp.digest().hex();
 }
 
 TraceCache& TraceCache::global() {
-  static TraceCache cache;
-  return cache;
+  static TraceCache* cache = [] {
+    auto* instance = new TraceCache();
+    instance->set_store(store::ArtifactStore::open_from_env());
+    return instance;
+  }();
+  return *cache;
+}
+
+void TraceCache::set_store(std::shared_ptr<store::ArtifactStore> store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<store::ArtifactStore> TraceCache::store() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
 }
 
 std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
                                                    const SynthesizerParams& params) {
-  Key key{zone.name, params};
-  // The lock spans the synthesis so a key is synthesized exactly once even
-  // under concurrent first requests. Synthesis is ~ms per zone and sweeps
-  // warm the cache before fan-out, so the serialization is immaterial.
+  const std::string key = key_of(zone, params);
+  // The lock spans the load/synthesis so a key is materialized exactly once
+  // per process even under concurrent first requests. Synthesis is ~ms per
+  // zone and sweeps warm the cache before fan-out, so the serialization is
+  // immaterial.
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
     return it->second;
   }
-  ++syntheses_;
-  auto trace =
-      std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
-  entries_.emplace(std::move(key), trace);
+
+  // A payload that passes the container checksum but fails to decode
+  // (schema drift, tampering) is treated like a corrupt entry: miss, then
+  // re-synthesize and overwrite.
+  const auto try_decode = [](const std::string& payload) -> std::shared_ptr<const CarbonTrace> {
+    try {
+      return std::make_shared<const CarbonTrace>(store::decode_trace(payload));
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  };
+
+  std::shared_ptr<const CarbonTrace> trace;
+  if (store_ != nullptr) {
+    if (auto payload = store_->load(store::ArtifactKind::kCarbonTrace, key)) {
+      trace = try_decode(*payload);
+    }
+    if (trace != nullptr) {
+      ++disk_hits_;
+    } else {
+      // Cross-process synthesize-once: take the entry lock, re-check (the
+      // lock holder before us may have published), then compute + publish.
+      // An unacquirable lock (unwritable locks/ dir) degrades to
+      // at-least-once synthesis — counted, never fatal.
+      const util::FileLock entry_lock =
+          store_->lock_entry(store::ArtifactKind::kCarbonTrace, key);
+      if (!entry_lock.held()) ++lock_failures_;
+      if (auto raced = store_->load(store::ArtifactKind::kCarbonTrace, key)) {
+        trace = try_decode(*raced);
+      }
+      if (trace != nullptr) {
+        ++disk_hits_;
+      } else {
+        trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+        ++syntheses_;
+        try {
+          store_->save(store::ArtifactKind::kCarbonTrace, key, store::encode_trace(*trace));
+        } catch (const std::exception&) {
+          // The store is a cache tier: a publish failure (disk full, lost
+          // permissions) degrades this key to memory-only, it must not
+          // abort the computation that already succeeded.
+        }
+      }
+    }
+  } else {
+    trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+    ++syntheses_;
+  }
+  entries_.emplace(key, trace);
   return trace;
 }
 
@@ -68,16 +122,28 @@ std::uint64_t TraceCache::hits() const {
   return hits_;
 }
 
+std::uint64_t TraceCache::disk_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return disk_hits_;
+}
+
 std::uint64_t TraceCache::syntheses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return syntheses_;
+}
+
+std::uint64_t TraceCache::lock_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lock_failures_;
 }
 
 void TraceCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   hits_ = 0;
+  disk_hits_ = 0;
   syntheses_ = 0;
+  lock_failures_ = 0;
 }
 
 }  // namespace carbonedge::carbon

@@ -1,17 +1,25 @@
-// Process-wide immutable carbon-trace cache.
+// Two-tier immutable carbon-trace cache.
 //
 // Synthesizing a zone's year-long hourly trace is the dominant startup cost
-// of wide scenario sweeps, and before this cache every CarbonIntensityService
-// construction re-ran the synthesizer for every zone of its region. The
-// cache memoizes TraceSynthesizer output keyed on (zone name,
-// SynthesizerParams) and hands out shared_ptr<const CarbonTrace>, so
-// synthesis happens exactly once per (zone, params) per process and every
-// service/simulation thereafter shares one immutable year-long series.
+// of wide scenario sweeps. The cache memoizes TraceSynthesizer output at two
+// levels:
 //
-// Invariant: a zone name identifies its ZoneSpec. This holds for the
-// built-in catalog (specs are a pure function of the city), which is the
-// only spec source in the tree; callers synthesizing ad-hoc specs that
-// reuse a catalog name must bypass the cache and add_trace() directly.
+//   L1 (memory)  per-process map keyed on a content hash of the full
+//                (ZoneSpec, SynthesizerParams) pair, handing out
+//                shared_ptr<const CarbonTrace> — synthesis happens at most
+//                once per key per process and every service/simulation
+//                thereafter shares one immutable year-long series.
+//   L2 (disk)    optional store::ArtifactStore shared across processes
+//                (attach via set_store(), or CARBONEDGE_STORE_DIR for the
+//                global instance). An L1 miss first tries the store; a true
+//                miss synthesizes under an advisory file lock and publishes
+//                the trace, so N concurrent sweep processes over the same
+//                zones synthesize each trace exactly once between them.
+//
+// The key is the content of the spec, not the zone name: two different
+// ZoneSpecs that happen to share a name get distinct entries (ad-hoc specs
+// can no longer silently alias a catalog zone), and equal specs share one
+// entry regardless of where they came from.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,10 @@
 #include "carbon/trace.hpp"
 #include "carbon/zone.hpp"
 
+namespace carbonedge::store {
+class ArtifactStore;
+}
+
 namespace carbonedge::carbon {
 
 class TraceCache {
@@ -33,39 +45,54 @@ class TraceCache {
   TraceCache& operator=(const TraceCache&) = delete;
 
   /// The process-wide instance used by CarbonIntensityService::add_region.
+  /// On first use it attaches the CARBONEDGE_STORE_DIR store, if set.
   [[nodiscard]] static TraceCache& global();
 
-  /// The trace for (zone.name, params), synthesizing it on first request.
-  /// Thread-safe; concurrent requests for the same key synthesize once.
+  /// The trace for (zone, params), loading it from the attached store or
+  /// synthesizing it on first request. Thread-safe; concurrent requests for
+  /// the same key synthesize once (across processes too, when a store is
+  /// attached).
   [[nodiscard]] std::shared_ptr<const CarbonTrace> get(const ZoneSpec& zone,
                                                        const SynthesizerParams& params = {});
 
-  /// Number of distinct (zone, params) entries currently cached.
-  [[nodiscard]] std::size_t size() const;
-  /// Lookups answered from the cache without synthesizing.
-  [[nodiscard]] std::uint64_t hits() const;
-  /// Synthesizer runs (== cache misses); the "once per (zone, params) per
-  /// process" guarantee is `syntheses() == size()` at all times.
-  [[nodiscard]] std::uint64_t syntheses() const;
+  /// Attach (or with nullptr detach) the L2 on-disk tier.
+  void set_store(std::shared_ptr<store::ArtifactStore> store);
+  [[nodiscard]] std::shared_ptr<store::ArtifactStore> store() const;
 
-  /// Drop all entries and reset counters (tests; shared_ptrs handed out
-  /// earlier stay valid).
+  /// Content key of a (zone, params) pair: hex digest over every field of
+  /// both structs. Also the entry's on-disk name in the artifact store.
+  [[nodiscard]] static std::string key_of(const ZoneSpec& zone,
+                                          const SynthesizerParams& params);
+
+  /// Number of distinct keys currently cached in memory.
+  [[nodiscard]] std::size_t size() const;
+  /// Lookups answered from memory (L1 hits).
+  [[nodiscard]] std::uint64_t hits() const;
+  /// Lookups answered by loading the on-disk store (L2 hits — another
+  /// process, or an earlier run, synthesized the trace).
+  [[nodiscard]] std::uint64_t disk_hits() const;
+  /// Synthesizer runs (true misses). Without a store,
+  /// `syntheses() == size()` at all times; with a warm store a run can
+  /// satisfy every request with zero syntheses.
+  [[nodiscard]] std::uint64_t syntheses() const;
+  /// Times the cross-process entry lock could not be acquired (e.g. an
+  /// unwritable locks/ directory). Synthesis still proceeds — the
+  /// "exactly once across processes" guarantee degrades to at-least-once
+  /// for those keys, and this counter is the diagnostic.
+  [[nodiscard]] std::uint64_t lock_failures() const;
+
+  /// Drop all in-memory entries and reset counters (tests; shared_ptrs
+  /// handed out earlier stay valid, and the on-disk tier is untouched).
   void clear();
 
  private:
-  struct Key {
-    std::string zone;
-    SynthesizerParams params;
-    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
-  };
-  struct KeyHash {
-    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept;
-  };
-
   mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const CarbonTrace>, KeyHash> entries_;
+  std::unordered_map<std::string, std::shared_ptr<const CarbonTrace>> entries_;
+  std::shared_ptr<store::ArtifactStore> store_;
   std::uint64_t hits_ = 0;
+  std::uint64_t disk_hits_ = 0;
   std::uint64_t syntheses_ = 0;
+  std::uint64_t lock_failures_ = 0;
 };
 
 }  // namespace carbonedge::carbon

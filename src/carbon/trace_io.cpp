@@ -1,5 +1,6 @@
 #include "carbon/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -30,6 +31,45 @@ void write_rows(util::CsvWriter& writer, const CarbonTrace& trace, bool with_mix
     }
     writer.row(row);
   }
+}
+
+// Data row r (0-based) sits on this 1-based text line: line 1 is the
+// header. (Quoted cells with embedded newlines would shift this, but no
+// trace exporter emits them.)
+std::size_t line_of(std::size_t row) { return row + 2; }
+
+[[noreturn]] void parse_fail(std::size_t row, const std::string& what) {
+  throw std::runtime_error("trace csv line " + std::to_string(line_of(row)) + ": " + what);
+}
+
+// Strict full-cell numeric parses: trailing garbage ("12abc"), empty cells,
+// and out-of-range values all fail with the offending line and cell.
+std::size_t parse_hour(const std::string& cell, std::size_t row) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long value = std::stoul(cell, &consumed);
+    if (consumed != cell.size()) throw std::invalid_argument("trailing characters");
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    parse_fail(row, "invalid hour '" + cell + "'");
+  }
+}
+
+double parse_value(const std::string& cell, std::size_t row, const char* column) {
+  double value = 0.0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stod(cell, &consumed);
+    if (consumed != cell.size()) throw std::invalid_argument("trailing characters");
+  } catch (const std::exception&) {
+    parse_fail(row, std::string("invalid ") + column + " '" + cell + "'");
+  }
+  // NaN/inf would silently poison every mean/forecast downstream, and a
+  // negative intensity or generation share is physically meaningless —
+  // reject them at the door instead of ingesting them.
+  if (!std::isfinite(value)) parse_fail(row, std::string("non-finite ") + column + " '" + cell + "'");
+  if (value < 0.0) parse_fail(row, std::string("negative ") + column + " '" + cell + "'");
+  return value;
 }
 
 }  // namespace
@@ -69,21 +109,23 @@ std::vector<CarbonTrace> read_traces_csv(const std::string& text) {
   std::vector<std::string> order;
   std::map<std::string, std::vector<double>> intensity;
   std::map<std::string, std::vector<GenerationMix>> mixes;
-  for (const auto& row : doc.rows) {
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
     const std::string& zone = row[zone_col];
+    if (zone.empty()) parse_fail(r, "empty zone name");
     auto [it, inserted] = intensity.try_emplace(zone);
     if (inserted) order.push_back(zone);
-    const auto hour = static_cast<std::size_t>(std::stoul(row[hour_col]));
+    const std::size_t hour = parse_hour(row[hour_col], r);
     if (hour != it->second.size()) {
-      throw std::runtime_error("trace csv: non-contiguous hours for zone " + zone);
+      parse_fail(r, "non-contiguous hours for zone " + zone + " (expected " +
+                        std::to_string(it->second.size()) + ", got " + std::to_string(hour) +
+                        ")");
     }
-    const double value = std::stod(row[ci_col]);
-    if (value < 0.0) throw std::runtime_error("trace csv: negative intensity for zone " + zone);
-    it->second.push_back(value);
+    it->second.push_back(parse_value(row[ci_col], r, "intensity"));
     if (with_mix) {
       GenerationMix mix;
       for (const EnergySource s : kAllSources) {
-        mix.set(s, std::stod(row[mix_cols[index_of(s)]]));
+        mix.set(s, parse_value(row[mix_cols[index_of(s)]], r, "mix share"));
       }
       mixes[zone].push_back(mix);
     }

@@ -8,6 +8,7 @@
 
 #include "carbon/service.hpp"
 #include "core/simulation.hpp"
+#include "store/sweep_store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace carbonedge::runner {
@@ -59,17 +60,37 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(const ScenarioGrid& grid) const
 std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios) const {
   if (scenarios.empty()) return {};
 
+  // Resolve the persistent sweep store first: cells already computed by an
+  // earlier (possibly interrupted) run — or by another process sharing the
+  // store — are loaded into their slots and never dispatched. Cached
+  // results round-trip bit-exactly, so the aggregate is byte-identical to
+  // a cold one-shot run of the same list.
+  std::vector<core::SimulationResult> slots(scenarios.size());
+  std::vector<std::size_t> pending;
+  pending.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (options_.sweep_store != nullptr) {
+      if (auto cached = options_.sweep_store->load(scenarios[i])) {
+        slots[i] = std::move(*cached);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
   // Build each distinct (region, forecaster) service once, serially, before
   // any worker starts: services are then only read (const) concurrently.
-  // Trace synthesis itself is additionally memoized process-wide by
+  // Only pending cells need a service — a fully-warm resume builds none and
+  // synthesizes nothing. Trace synthesis itself is additionally memoized
+  // process-wide (and, with a store attached, across processes) by
   // carbon::TraceCache, so repeat sweeps over the same zones share one
-  // immutable year-long series instead of re-synthesizing. Each scenario's
-  // service pointer is resolved here too, keeping key building and map
-  // lookups off the dispatch path.
+  // immutable year-long series instead of re-synthesizing. Each pending
+  // scenario's service pointer is resolved here too, keeping key building
+  // and map lookups off the dispatch path.
   std::map<std::string, std::unique_ptr<carbon::CarbonIntensityService>> services;
-  std::vector<const carbon::CarbonIntensityService*> cell_services;
-  cell_services.reserve(scenarios.size());
-  for (const Scenario& scenario : scenarios) {
+  std::vector<const carbon::CarbonIntensityService*> cell_services(scenarios.size(), nullptr);
+  for (const std::size_t i : pending) {
+    const Scenario& scenario = scenarios[i];
     auto& slot = services[service_key(scenario)];
     if (!slot) {
       slot = std::make_unique<carbon::CarbonIntensityService>();
@@ -78,21 +99,26 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios
         slot->set_forecaster(carbon::make_forecaster(scenario.forecaster));
       }
     }
-    cell_services.push_back(slot.get());
+    cell_services[i] = slot.get();
   }
 
-  std::vector<core::SimulationResult> slots(scenarios.size());
-  const auto body = [&](std::size_t i) {
+  const auto body = [&](std::size_t p) {
+    const std::size_t i = pending[p];
     core::EdgeSimulation simulation(build_cluster(scenarios[i]), *cell_services[i]);
     slots[i] = simulation.run(scenarios[i].config);
+    // Publish as soon as the cell completes (atomic rename), so a killed
+    // sweep loses at most the cells still in flight.
+    if (options_.sweep_store != nullptr) {
+      options_.sweep_store->save(scenarios[i], slots[i]);
+    }
   };
   if (options_.threads == 0) {
     // Default thread count: reuse the process-wide pool instead of paying
     // pool construction/teardown on every sweep.
-    util::parallel_for(util::global_pool(), 0, scenarios.size(), body, /*chunk=*/1);
+    util::parallel_for(util::global_pool(), 0, pending.size(), body, /*chunk=*/1);
   } else {
     util::ThreadPool pool(options_.threads);
-    util::parallel_for(pool, 0, scenarios.size(), body, /*chunk=*/1);
+    util::parallel_for(pool, 0, pending.size(), body, /*chunk=*/1);
   }
 
   std::vector<ScenarioOutcome> outcomes;

@@ -10,10 +10,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "runner/scenario_grid.hpp"
 #include "util/table.hpp"
+
+namespace carbonedge::store {
+class SweepStore;
+}
 
 namespace carbonedge::runner {
 
@@ -26,6 +31,13 @@ struct ScenarioOutcome {
 struct ScenarioRunnerOptions {
   /// Worker threads for the sweep (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Persistent sweep-cell cache (store/sweep_store.hpp). When set, cells
+  /// already in the store are loaded instead of re-simulated (their carbon
+  /// services are not even built) and freshly computed cells are saved
+  /// back, so an interrupted or extended grid resumes incrementally.
+  /// Cached results round-trip bit-exactly: the aggregate — and
+  /// summarize()'s table — is byte-identical to a cold one-shot run.
+  std::shared_ptr<store::SweepStore> sweep_store;
 };
 
 class ScenarioRunner {

@@ -79,6 +79,11 @@ class Telemetry {
   void add_response_sample(double response_ms, double rps_weight) noexcept {
     response_hist_.add(response_ms, rps_weight);
   }
+  /// Replace the response histogram wholesale (the store's deserialization
+  /// path, store/codecs.hpp; not used by the simulation engine).
+  void set_response_histogram(util::Histogram histogram) noexcept {
+    response_hist_ = std::move(histogram);
+  }
   [[nodiscard]] double response_percentile(double p) const noexcept {
     return response_hist_.quantile(p / 100.0);
   }

@@ -1,0 +1,167 @@
+#include "store/artifact_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <system_error>
+
+namespace carbonedge::store {
+
+namespace {
+
+constexpr ArtifactKind kAllKinds[] = {ArtifactKind::kCarbonTrace, ArtifactKind::kLatencyMatrix,
+                                      ArtifactKind::kSweepOutcome};
+
+const char* dir_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kCarbonTrace: return "traces";
+    case ArtifactKind::kLatencyMatrix: return "latency";
+    case ArtifactKind::kSweepOutcome: return "sweeps";
+  }
+  throw std::invalid_argument("artifact store: unknown kind");
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  for (const ArtifactKind kind : kAllKinds) {
+    std::filesystem::create_directories(root_ / dir_name(kind), ec);
+    if (ec) {
+      throw std::runtime_error("artifact store: cannot create " +
+                               (root_ / dir_name(kind)).string() + ": " + ec.message());
+    }
+  }
+  std::filesystem::create_directories(root_ / "locks", ec);
+  if (ec) {
+    throw std::runtime_error("artifact store: cannot create " + (root_ / "locks").string() +
+                             ": " + ec.message());
+  }
+}
+
+std::shared_ptr<ArtifactStore> ArtifactStore::open_from_env() {
+  const char* dir = std::getenv("CARBONEDGE_STORE_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  return std::make_shared<ArtifactStore>(std::filesystem::path(dir));
+}
+
+std::filesystem::path ArtifactStore::kind_dir(ArtifactKind kind) const {
+  return root_ / dir_name(kind);
+}
+
+std::filesystem::path ArtifactStore::entry_path(ArtifactKind kind,
+                                                std::string_view key) const {
+  return kind_dir(kind) / (std::string(key) + std::string(kArtifactExtension));
+}
+
+bool ArtifactStore::contains(ArtifactKind kind, std::string_view key) const {
+  std::error_code ec;
+  return std::filesystem::exists(entry_path(kind, key), ec) && !ec;
+}
+
+std::optional<std::string> ArtifactStore::load(ArtifactKind kind, std::string_view key) const {
+  const std::filesystem::path path = entry_path(kind, key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  try {
+    Artifact artifact = read_artifact_file(path);
+    if (artifact.kind != kind) throw std::runtime_error("kind mismatch");
+    return std::move(artifact.payload);
+  } catch (const std::exception&) {
+    // Torn by a crashed writer, bit rot, or a foreign file under our name:
+    // report a miss so the caller regenerates and overwrites it.
+    corrupt_reads_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save(ArtifactKind kind, std::string_view key,
+                         std::string_view payload) const {
+  write_artifact_file(entry_path(kind, key), kind, payload);
+}
+
+util::FileLock ArtifactStore::lock_entry(ArtifactKind kind, std::string_view key) const {
+  return util::FileLock(root_ / "locks" /
+                        (std::string(dir_name(kind)) + "-" + std::string(key) + ".lock"));
+}
+
+std::vector<ArtifactStore::Entry> ArtifactStore::list(bool verify) const {
+  std::vector<Entry> entries;
+  for (const ArtifactKind kind : kAllKinds) {
+    std::error_code ec;
+    for (const auto& file : std::filesystem::directory_iterator(kind_dir(kind), ec)) {
+      if (!file.is_regular_file() || file.path().extension() != kArtifactExtension) continue;
+      Entry entry;
+      entry.kind = kind;
+      entry.key = file.path().stem().string();
+      std::error_code size_ec;
+      const std::uintmax_t size = file.file_size(size_ec);
+      // Deleted between iteration and stat (concurrent gc): report 0, not
+      // the uintmax_t(-1) error sentinel, which would wreck ls totals.
+      entry.file_bytes = size_ec || size == static_cast<std::uintmax_t>(-1) ? 0 : size;
+      if (verify) {
+        const ArtifactInfo info = inspect_artifact_file(file.path());
+        entry.intact = info.intact && info.kind == kind;
+      }
+      entries.push_back(std::move(entry));
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.kind != b.kind ? a.kind < b.kind : a.key < b.key;
+  });
+  return entries;
+}
+
+ArtifactStore::GcReport ArtifactStore::gc() const {
+  GcReport report;
+  const auto remove_file = [&report](const std::filesystem::path& path) {
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    if (std::filesystem::remove(path, ec) && !ec) {
+      ++report.removed_files;
+      report.reclaimed_bytes += bytes == static_cast<std::uintmax_t>(-1) ? 0 : bytes;
+    }
+  };
+  // A temp file younger than this belongs to a live writer between write
+  // and rename, not a crashed one — deleting it would make that writer's
+  // rename fail. Atomic publishes take milliseconds, so minutes of slack is
+  // generous.
+  constexpr auto kTempGraceLimit = std::chrono::minutes(10);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const ArtifactKind kind : kAllKinds) {
+    std::error_code ec;
+    for (const auto& file : std::filesystem::directory_iterator(kind_dir(kind), ec)) {
+      if (!file.is_regular_file()) continue;
+      const std::string name = file.path().filename().string();
+      if (util::is_atomic_temp_name(name)) {
+        std::error_code time_ec;
+        const auto written = std::filesystem::last_write_time(file.path(), time_ec);
+        if (!time_ec && now - written > kTempGraceLimit) remove_file(file.path());
+        continue;
+      }
+      if (file.path().extension() != kArtifactExtension) continue;
+      const ArtifactInfo info = inspect_artifact_file(file.path());
+      if (!info.intact || info.kind != kind) remove_file(file.path());
+    }
+  }
+  // Lock files are one-per-key and otherwise accumulate forever on a
+  // long-lived store. Only reap ones that are past the grace period AND
+  // currently unheld (non-blocking probe) — unlinking a held lock could
+  // split future waiters across two inodes, whose only consequence here
+  // would be a duplicate synthesis, but there is no reason to risk it.
+  {
+    std::error_code ec;
+    for (const auto& file : std::filesystem::directory_iterator(root_ / "locks", ec)) {
+      if (!file.is_regular_file()) continue;
+      std::error_code time_ec;
+      const auto written = std::filesystem::last_write_time(file.path(), time_ec);
+      if (time_ec || now - written <= kTempGraceLimit) continue;
+      const util::FileLock probe(file.path(), util::FileLock::Mode::kTry);
+      if (probe.held()) remove_file(file.path());
+    }
+  }
+  return report;
+}
+
+}  // namespace carbonedge::store

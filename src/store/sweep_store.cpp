@@ -1,0 +1,133 @@
+#include "store/sweep_store.hpp"
+
+#include <stdexcept>
+
+#include "carbon/trace_cache.hpp"
+#include "carbon/zone.hpp"
+#include "store/codecs.hpp"
+#include "util/hash.hpp"
+
+namespace carbonedge::store {
+
+namespace {
+
+void mix_workload(util::Fingerprint& fp, const sim::WorkloadParams& w) {
+  fp.mix(w.arrivals_per_site);
+  fp.mix(static_cast<std::uint64_t>(w.demand));
+  for (const double weight : w.model_weights) fp.mix(weight);
+  fp.mix(w.min_rps);
+  fp.mix(w.max_rps);
+  fp.mix(w.min_state_mb);
+  fp.mix(w.max_state_mb);
+  fp.mix(w.max_defer_epochs);
+  fp.mix(w.latency_limit_rtt_ms);
+  fp.mix(w.mean_lifetime_epochs);
+  fp.mix(static_cast<std::uint64_t>(w.initial_per_site));
+  fp.mix(w.initial_lifetime_epochs);
+  fp.mix(w.seed);
+}
+
+void mix_solver(util::Fingerprint& fp, const solver::AssignmentOptions& s) {
+  fp.mix(s.milp.lp.max_iterations);
+  fp.mix(s.milp.lp.pivot_tolerance);
+  fp.mix(s.milp.lp.feasibility_tolerance);
+  fp.mix(s.milp.max_nodes);
+  fp.mix(s.milp.integrality_tolerance);
+  fp.mix(s.milp.gap_tolerance);
+  fp.mix(static_cast<std::uint64_t>(s.local_search_rounds));
+  fp.mix(static_cast<std::uint64_t>(s.exact_size_limit));
+  fp.mix(s.shard);
+  // shard_threads is excluded: the decomposition contract guarantees
+  // bit-identical answers for every thread count.
+}
+
+void mix_config(util::Fingerprint& fp, const core::SimulationConfig& c) {
+  fp.mix(static_cast<std::uint64_t>(c.policy.kind));
+  fp.mix(c.policy.alpha);
+  fp.mix(static_cast<std::uint64_t>(c.start_hour));
+  fp.mix(c.epochs);
+  fp.mix(c.epoch_hours);
+  mix_workload(fp, c.workload);
+  fp.mix(c.forecast_horizon_hours);
+  fp.mix(static_cast<std::uint64_t>(c.power.min_on_per_site));
+  fp.mix(c.power.enabled);
+  fp.mix(c.reoptimize_every);
+  fp.mix(c.reoptimize_monthly);
+  fp.mix(c.migration.network_energy_wh_per_gb);
+  fp.mix(c.migration.cost_aware);
+  fp.mix(c.migration.benefit_horizon_epochs);
+  fp.mix(c.migration.hysteresis);
+  fp.mix(c.failures.mtbf_epochs);
+  fp.mix(c.failures.repair_epochs);
+  fp.mix(c.failures.seed);
+  mix_solver(fp, c.solver_options);
+  fp.mix(c.account_base_power);
+}
+
+}  // namespace
+
+SweepStore::SweepStore(std::shared_ptr<ArtifactStore> artifacts)
+    : artifacts_(std::move(artifacts)) {
+  if (artifacts_ == nullptr) {
+    throw std::invalid_argument("sweep store: artifact store must be non-null");
+  }
+}
+
+std::string SweepStore::fingerprint(const runner::Scenario& scenario) {
+  util::Fingerprint fp;
+  fp.mix("carbonedge/sweep/v1");  // schema salt: bump when the field list changes
+  // Region identity is its city list (display names are cosmetic) — plus
+  // each city's zone-spec content, exactly as the runner's service will
+  // resolve it (catalog spec, default synthesizer params). Without this, a
+  // recalibration of the built-in carbon dataset or the synthesizer would
+  // silently resume stale cells from the store.
+  const auto& catalog = carbon::ZoneCatalog::builtin();
+  const std::vector<geo::City> cities = scenario.region.resolve();
+  fp.mix(static_cast<std::uint64_t>(cities.size()));
+  for (const geo::City& city : cities) {
+    fp.mix(static_cast<std::uint64_t>(city.id));
+    fp.mix(carbon::TraceCache::key_of(catalog.spec_for(city), carbon::SynthesizerParams{}));
+  }
+  const runner::DeviceMix& mix = scenario.mix;
+  fp.mix(static_cast<std::uint64_t>(mix.devices.size()));
+  for (const sim::DeviceType device : mix.devices) {
+    fp.mix(static_cast<std::uint64_t>(device));
+  }
+  fp.mix(static_cast<std::uint64_t>(mix.servers_per_site));
+  fp.mix(static_cast<std::uint64_t>(mix.total_servers));
+  fp.mix(static_cast<std::uint64_t>(mix.initially_off_per_site));
+  fp.mix(scenario.forecaster);
+  mix_config(fp, scenario.config);
+  return fp.digest().hex();
+}
+
+std::optional<core::SimulationResult> SweepStore::load(const runner::Scenario& scenario) {
+  auto payload = artifacts_->load(ArtifactKind::kSweepOutcome, fingerprint(scenario));
+  if (payload) {
+    try {
+      core::SimulationResult result = decode_outcome(*payload);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    } catch (const std::exception&) {
+      // Checksum-valid but undecodable (schema drift): recompute the cell;
+      // the fresh save overwrites the stale entry.
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void SweepStore::save(const runner::Scenario& scenario, const core::SimulationResult& result) {
+  try {
+    artifacts_->save(ArtifactKind::kSweepOutcome, fingerprint(scenario),
+                     encode_outcome(result));
+  } catch (const std::exception&) {
+    // Persisting is best-effort: a full or read-only store must not kill a
+    // sweep whose cell already computed — the cell just won't resume warm.
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace carbonedge::store

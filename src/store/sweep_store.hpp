@@ -1,0 +1,77 @@
+// Persistent sweep-cell cache: ScenarioOutcome rows keyed by a canonical
+// Scenario fingerprint.
+//
+// A sweep cell is a pure function of its Scenario (the simulation is
+// deterministic given the config), so its SimulationResult can be persisted
+// and replayed. SweepStore fingerprints every result-determining field of a
+// Scenario — region cities, device mix, forecaster, and the full
+// SimulationConfig — and stores the cell's complete SimulationResult
+// (counters + telemetry + histogram, bit-exact doubles) in the artifact
+// store. ScenarioRunner consults it before dispatch: an interrupted or
+// extended grid resumes incrementally, and because cached results
+// round-trip bit-exactly, the final summary table is byte-identical to a
+// cold one-shot run.
+//
+// Cosmetic fields (Scenario::index, Scenario::label, region/mix display
+// names) are deliberately excluded from the fingerprint: they do not affect
+// the simulation, and the runner re-derives them from the live grid
+// expansion, so relabeled grids still share cached cells.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "runner/scenario_grid.hpp"
+#include "store/artifact_store.hpp"
+
+namespace carbonedge::store {
+
+class SweepStore {
+ public:
+  /// Throws std::invalid_argument on a null store.
+  explicit SweepStore(std::shared_ptr<ArtifactStore> artifacts);
+
+  /// Canonical content fingerprint (hex digest) of a scenario — the entry's
+  /// on-disk name.
+  [[nodiscard]] static std::string fingerprint(const runner::Scenario& scenario);
+
+  /// The persisted result for `scenario`, or nullopt on a miss. Bumps
+  /// hits()/misses().
+  [[nodiscard]] std::optional<core::SimulationResult> load(const runner::Scenario& scenario);
+
+  /// Persist a computed cell (atomic publish; safe from concurrent sweep
+  /// workers and processes). Best-effort: an unwritable store counts a
+  /// write_failure instead of throwing — the sweep's in-memory result is
+  /// already good, it just won't resume warm.
+  void save(const runner::Scenario& scenario, const core::SimulationResult& result);
+
+  [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifacts() const noexcept {
+    return artifacts_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stores() const noexcept {
+    return stores_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t write_failures() const noexcept {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<ArtifactStore> artifacts_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+};
+
+}  // namespace carbonedge::store

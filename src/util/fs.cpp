@@ -1,0 +1,143 @@
+#include "util/fs.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CARBONEDGE_HAVE_POSIX_FS 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace carbonedge::util {
+
+namespace {
+
+std::uint64_t process_id() noexcept {
+#ifdef CARBONEDGE_HAVE_POSIX_FS
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("fs: cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file.good() && !file.eof()) {
+    throw std::runtime_error("fs: read failed for " + path.string());
+  }
+  return std::move(buffer).str();
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::string_view bytes) {
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::filesystem::path tmp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp-" + std::to_string(process_id()) + "-" +
+       std::to_string(sequence.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("fs: cannot write " + tmp.string());
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!file.good()) {
+      file.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error("fs: write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("fs: rename to " + path.string() + " failed: " + ec.message());
+  }
+}
+
+bool is_atomic_temp_name(std::string_view name) noexcept {
+  return name.find(".tmp-") != std::string_view::npos;
+}
+
+FileView::FileView(const std::filesystem::path& path) {
+#ifdef CARBONEDGE_HAVE_POSIX_FS
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      size_ = static_cast<std::size_t>(st.st_size);
+      if (size_ == 0) {
+        data_ = "";
+        ::close(fd);
+        return;
+      }
+      void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping outlives the descriptor
+      if (map != MAP_FAILED) {
+        map_ = map;
+        data_ = static_cast<const char*>(map);
+        return;
+      }
+      size_ = 0;
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  buffer_ = read_file(path);
+  data_ = buffer_.data();
+  size_ = buffer_.size();
+}
+
+FileView::~FileView() {
+#ifdef CARBONEDGE_HAVE_POSIX_FS
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+FileView::FileView(FileView&& other) noexcept
+    : buffer_(std::move(other.buffer_)), data_(other.data_), size_(other.size_),
+      map_(other.map_) {
+  if (map_ == nullptr && size_ > 0) data_ = buffer_.data();
+  other.map_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+FileLock::FileLock(const std::filesystem::path& path, Mode mode) {
+#ifdef CARBONEDGE_HAVE_POSIX_FS
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  const int op = LOCK_EX | (mode == Mode::kTry ? LOCK_NB : 0);
+  if (fd_ >= 0 && ::flock(fd_, op) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#else
+  (void)path;
+  (void)mode;
+#endif
+}
+
+FileLock::~FileLock() {
+#ifdef CARBONEDGE_HAVE_POSIX_FS
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+#endif
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+}  // namespace carbonedge::util

@@ -1,0 +1,75 @@
+// Filesystem primitives for the persistent artifact store (store/):
+// whole-file reads (mmap when available), atomic write-then-rename
+// publication, and advisory cross-process file locks.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace carbonedge::util {
+
+/// Read a whole file into memory (binary). Throws std::runtime_error if the
+/// file cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Publish `bytes` at `path` atomically: write a uniquely-named sibling temp
+/// file ("<name>.tmp-<pid>-<seq>") and rename it into place. Readers never
+/// observe a partially-written file; concurrent writers of the same path
+/// race benignly (last rename wins, both contents are complete). Throws
+/// std::runtime_error on I/O failure.
+void write_file_atomic(const std::filesystem::path& path, std::string_view bytes);
+
+/// True if `name` matches the temp-file pattern write_file_atomic uses
+/// (leftovers of a crashed writer; the store's gc sweeps them).
+[[nodiscard]] bool is_atomic_temp_name(std::string_view name) noexcept;
+
+/// Read-only view of a file's bytes: memory-mapped where the platform
+/// supports it, buffered read otherwise. The view stays valid for the
+/// object's lifetime.
+class FileView {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit FileView(const std::filesystem::path& path);
+  ~FileView();
+  FileView(FileView&& other) noexcept;
+  FileView& operator=(FileView&&) = delete;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+
+  [[nodiscard]] std::string_view bytes() const noexcept { return {data_, size_}; }
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+ private:
+  std::string buffer_;          // backing storage on the buffered-read path
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;         // mmap base (non-null only when mapped)
+};
+
+/// RAII advisory exclusive lock on a lock file (created if absent). Blocks
+/// until acquired; released on destruction. Advisory only: every
+/// cooperating process must take the same lock. On platforms without flock
+/// this degrades to a no-op (single-process semantics are unaffected —
+/// in-process callers serialize through their own mutexes).
+class FileLock {
+ public:
+  enum class Mode {
+    kBlocking,  // wait for the holder (the default)
+    kTry,       // LOCK_NB: held() is false if someone else holds it
+  };
+
+  explicit FileLock(const std::filesystem::path& path, Mode mode = Mode::kBlocking);
+  ~FileLock();
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&&) = delete;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace carbonedge::util

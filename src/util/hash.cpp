@@ -1,0 +1,83 @@
+#include "util/hash.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace carbonedge::util {
+
+namespace {
+
+constexpr std::uint64_t kLane1Mul = 0x9e3779b97f4a7c15ULL;  // golden ratio
+constexpr std::uint64_t kLane2Mul = 0xc2b2ae3d27d4eb4fULL;  // xxhash prime 2
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+void Fingerprint::absorb(std::uint64_t word) noexcept {
+  lo_ = mix64(lo_ ^ (word * kLane1Mul));
+  hi_ = mix64(hi_ ^ (word * kLane2Mul)) + kLane1Mul;
+}
+
+Fingerprint& Fingerprint::mix(std::uint64_t value) noexcept {
+  absorb(value);
+  return *this;
+}
+
+Fingerprint& Fingerprint::mix(double value) noexcept {
+  if (value == 0.0) value = 0.0;  // collapse -0.0
+  if (std::isnan(value)) value = std::numeric_limits<double>::quiet_NaN();
+  return mix(std::bit_cast<std::uint64_t>(value));
+}
+
+Fingerprint& Fingerprint::mix(std::string_view text) noexcept {
+  absorb(text.size());
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    std::uint64_t word = 0;
+    const std::size_t chunk = std::min<std::size_t>(8, text.size() - offset);
+    std::memcpy(&word, text.data() + offset, chunk);  // zero-padded final word
+    absorb(word);
+    offset += chunk;
+  }
+  return *this;
+}
+
+Digest128 Fingerprint::digest() const noexcept {
+  // Final cross-mix so the lanes cannot be independently extended.
+  return Digest128{mix64(hi_ ^ (lo_ * kLane2Mul)), mix64(lo_ ^ (hi_ * kLane1Mul))};
+}
+
+std::string Digest128::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[2 * static_cast<std::size_t>(i)] = kHex[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace carbonedge::util

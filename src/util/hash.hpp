@@ -1,0 +1,64 @@
+// Content hashing for the persistent artifact store (store/).
+//
+// Fingerprint is a streaming 128-bit content hasher used to derive stable
+// on-disk keys from structured values (ZoneSpec + SynthesizerParams,
+// Scenario configs). Keys must be identical across processes and runs, so
+// the hash is fully specified here rather than delegated to std::hash
+// (whose value is implementation-defined and may be seeded per process).
+// Two independently-mixed 64-bit lanes make accidental collisions across
+// the store's key population (thousands of entries) astronomically
+// unlikely; this is not a cryptographic hash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace carbonedge::util {
+
+/// 128-bit digest, hex-printable as a filesystem-safe key.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters, hi word first.
+  [[nodiscard]] std::string hex() const;
+
+  [[nodiscard]] bool operator==(const Digest128&) const noexcept = default;
+};
+
+/// Streaming hasher. Every mix() is length/type-framed (strings are
+/// length-prefixed, doubles are bit-normalized), so distinct field
+/// sequences cannot collide by concatenation.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t value) noexcept;
+  Fingerprint& mix(std::int64_t value) noexcept {
+    return mix(static_cast<std::uint64_t>(value));
+  }
+  Fingerprint& mix(std::uint32_t value) noexcept {
+    return mix(static_cast<std::uint64_t>(value));
+  }
+  Fingerprint& mix(bool value) noexcept { return mix(static_cast<std::uint64_t>(value)); }
+  /// Doubles hash by bit pattern with -0.0 normalized to +0.0 and every NaN
+  /// collapsed to one canonical NaN, so equal values always hash equally.
+  Fingerprint& mix(double value) noexcept;
+  /// Length-prefixed, so {"ab","c"} and {"a","bc"} differ.
+  Fingerprint& mix(std::string_view text) noexcept;
+  /// String literals must not fall into the bool overload (a standard
+  /// conversion, which would otherwise beat string_view's user-defined one).
+  Fingerprint& mix(const char* text) noexcept { return mix(std::string_view(text)); }
+
+  [[nodiscard]] Digest128 digest() const noexcept;
+
+ private:
+  void absorb(std::uint64_t word) noexcept;
+
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t hi_ = 0x6a09e667f3bcc909ULL;  // frac(sqrt(2))
+};
+
+/// FNV-1a over a byte span: the artifact container's payload checksum.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+}  // namespace carbonedge::util

@@ -49,6 +49,24 @@ void Histogram::merge(const Histogram& other) {
   count_ += other.count_;
 }
 
+Histogram Histogram::restore(double lo, double hi, std::vector<double> bins,
+                             double total_weight, double weighted_sum, std::uint64_t count,
+                             double min, double max) {
+  Histogram h(lo, hi, bins.size());
+  if (bins.size() != h.bins_.size()) {
+    throw std::invalid_argument("histogram: restore requires at least one bin");
+  }
+  h.bins_ = std::move(bins);
+  h.total_weight_ = total_weight;
+  h.weighted_sum_ = weighted_sum;
+  h.count_ = count;
+  if (count > 0) {
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
 double Histogram::mean() const noexcept {
   return total_weight_ > 0.0 ? weighted_sum_ / total_weight_ : 0.0;
 }

@@ -30,6 +30,17 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bins() const noexcept { return bins_; }
   [[nodiscard]] double bin_lo() const noexcept { return lo_; }
   [[nodiscard]] double bin_hi() const noexcept { return hi_; }
+  /// Sum of value*weight over all samples (mean() numerator). Exposed so a
+  /// histogram's full state can be serialized (store/codecs.hpp).
+  [[nodiscard]] double weighted_sum() const noexcept { return weighted_sum_; }
+
+  /// Rebuild a histogram from previously-captured state (the store's
+  /// deserialization path). `bins` must be non-empty; min/max are ignored
+  /// when count is zero. The result is bit-identical to the instance the
+  /// state was read from.
+  [[nodiscard]] static Histogram restore(double lo, double hi, std::vector<double> bins,
+                                         double total_weight, double weighted_sum,
+                                         std::uint64_t count, double min, double max);
 
  private:
   double lo_;

@@ -1,0 +1,36 @@
+// Shared scratch-directory helper for the artifact-store test binaries.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace carbonedge::testutil {
+
+/// Unique per-construction scratch directory under the system temp dir,
+/// removed on destruction. Tests from parallel ctest binaries never
+/// collide: the name carries the prefix, the pid, and an in-process
+/// counter.
+struct TempStoreDir {
+  explicit TempStoreDir(const std::string& prefix) {
+    static int counter = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    dir = std::filesystem::temp_directory_path() /
+          (prefix + "_" + std::to_string(pid) + "_" + std::to_string(counter++));
+    std::filesystem::remove_all(dir);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(dir); }
+  TempStoreDir(const TempStoreDir&) = delete;
+  TempStoreDir& operator=(const TempStoreDir&) = delete;
+
+  std::filesystem::path dir;
+};
+
+}  // namespace carbonedge::testutil

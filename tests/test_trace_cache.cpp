@@ -2,14 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "carbon/service.hpp"
 #include "geo/region.hpp"
+#include "store/artifact_store.hpp"
+#include "store_test_util.hpp"
 
 namespace carbonedge::carbon {
 namespace {
+
+struct TempStoreDir : testutil::TempStoreDir {
+  TempStoreDir() : testutil::TempStoreDir("carbonedge_trace_cache_test") {}
+};
 
 ZoneSpec spec_of(const geo::Region& region, std::size_t index = 0) {
   const auto cities = region.resolve();
@@ -119,6 +126,107 @@ TEST(TraceCache, ServicesOverTheSameRegionShareTraces) {
   for (const geo::City& city : region.resolve()) {
     EXPECT_EQ(first.shared_trace(city.name).get(), second.shared_trace(city.name).get());
   }
+}
+
+TEST(TraceCache, AdHocSpecsSharingACatalogNameGetDistinctEntries) {
+  // The old cache keyed on the bare zone name, so an ad-hoc spec reusing a
+  // catalog name silently aliased the catalog trace. Content-hash keying
+  // removes that invariant: same name, different mix => distinct entries.
+  TraceCache cache;
+  const ZoneSpec catalog_spec = spec_of(geo::florida_region());
+  ZoneSpec adhoc = catalog_spec;
+  adhoc.capacity = make_mix({{EnergySource::kCoal, 1.0}});
+  const auto from_catalog = cache.get(catalog_spec);
+  const auto from_adhoc = cache.get(adhoc);
+  EXPECT_NE(from_catalog.get(), from_adhoc.get());
+  EXPECT_EQ(cache.syntheses(), 2u);
+  EXPECT_NE(from_catalog->yearly_mean(), from_adhoc->yearly_mean());
+  // Equal content still shares, wherever the spec object came from.
+  const ZoneSpec copy = catalog_spec;
+  EXPECT_EQ(cache.get(copy).get(), from_catalog.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(TraceCache, KeyOfCoversEveryField) {
+  const ZoneSpec spec = spec_of(geo::florida_region());
+  const SynthesizerParams params;
+  const std::string base = TraceCache::key_of(spec, params);
+  EXPECT_EQ(base.size(), 32u);
+  EXPECT_EQ(TraceCache::key_of(spec, params), base);  // deterministic
+
+  ZoneSpec changed = spec;
+  changed.demand_peak += 0.01;
+  EXPECT_NE(TraceCache::key_of(changed, params), base);
+  changed = spec;
+  changed.latitude_deg += 1.0;
+  EXPECT_NE(TraceCache::key_of(changed, params), base);
+  SynthesizerParams p2 = params;
+  p2.grid_import_fraction += 0.01;
+  EXPECT_NE(TraceCache::key_of(spec, p2), base);
+}
+
+TEST(TraceCache, TwoCachesShareOneStoreDirectory) {
+  // The cross-process contract, exercised with two cache instances over one
+  // store directory: the second "process" performs zero syntheses.
+  TempStoreDir tmp;
+  const ZoneSpec zone_a = spec_of(geo::italy_region(), 0);
+  const ZoneSpec zone_b = spec_of(geo::italy_region(), 1);
+
+  TraceCache first;
+  first.set_store(std::make_shared<store::ArtifactStore>(tmp.dir));
+  const auto synthesized_a = first.get(zone_a);
+  const auto synthesized_b = first.get(zone_b);
+  EXPECT_EQ(first.syntheses(), 2u);
+  EXPECT_EQ(first.disk_hits(), 0u);
+
+  TraceCache second;
+  second.set_store(std::make_shared<store::ArtifactStore>(tmp.dir));
+  const auto loaded_a = second.get(zone_a);
+  const auto loaded_b = second.get(zone_b);
+  EXPECT_EQ(second.syntheses(), 0u);  // exactly one synthesis per key, ever
+  EXPECT_EQ(second.disk_hits(), 2u);
+  // Repeat lookups stay in memory (L1), not the disk tier.
+  (void)second.get(zone_a);
+  EXPECT_EQ(second.hits(), 1u);
+  EXPECT_EQ(second.disk_hits(), 2u);
+
+  // Loaded series are bit-identical to the synthesized ones, mixes included.
+  ASSERT_EQ(loaded_a->hours(), synthesized_a->hours());
+  for (std::size_t h = 0; h < loaded_a->hours(); ++h) {
+    EXPECT_EQ(loaded_a->values()[h], synthesized_a->values()[h]);
+  }
+  ASSERT_EQ(loaded_b->mixes().size(), synthesized_b->mixes().size());
+  for (std::size_t h = 0; h < loaded_b->mixes().size(); ++h) {
+    EXPECT_EQ(loaded_b->mixes()[h], synthesized_b->mixes()[h]);
+  }
+}
+
+TEST(TraceCache, CorruptStoreEntryIsResynthesizedAndHealed) {
+  TempStoreDir tmp;
+  const ZoneSpec zone = spec_of(geo::west_us_region());
+  const std::string key = TraceCache::key_of(zone, {});
+  auto artifacts = std::make_shared<store::ArtifactStore>(tmp.dir);
+
+  TraceCache first;
+  first.set_store(artifacts);
+  (void)first.get(zone);
+  // Scribble over the entry: the next cache must notice, re-synthesize,
+  // and publish a fresh intact copy.
+  artifacts->save(store::ArtifactKind::kCarbonTrace, key, "definitely not a trace payload");
+  std::filesystem::resize_file(artifacts->entry_path(store::ArtifactKind::kCarbonTrace, key),
+                               10);
+
+  TraceCache second;
+  second.set_store(artifacts);
+  const auto healed = second.get(zone);
+  EXPECT_EQ(second.syntheses(), 1u);
+  EXPECT_EQ(second.disk_hits(), 0u);
+  EXPECT_GT(healed->hours(), 0u);
+
+  TraceCache third;
+  third.set_store(artifacts);
+  (void)third.get(zone);
+  EXPECT_EQ(third.disk_hits(), 1u);  // healed entry reads back intact
 }
 
 TEST(TraceCache, ManuallyAddedTracesBypassTheCache) {

@@ -66,6 +66,62 @@ TEST(TraceIo, NegativeIntensityThrows) {
   EXPECT_THROW(read_traces_csv("zone,hour,intensity_g_kwh\nX,0,-5\n"), std::runtime_error);
 }
 
+// what() of the error read_traces_csv raises for `text`, or "" if none.
+std::string parse_error(const std::string& text) {
+  try {
+    (void)read_traces_csv(text);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(TraceIo, ParseErrorsReportTheOffendingLine) {
+  // Header is line 1; the bad row below is line 3.
+  const std::string error =
+      parse_error("zone,hour,intensity_g_kwh\nX,0,50\nX,1,oops\n");
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("oops"), std::string::npos) << error;
+
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,zero,50\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,50\nX,3,60\n").find("line 3"),
+            std::string::npos);  // non-contiguous hours
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,-5\n").find("line 2"),
+            std::string::npos);  // negative intensity
+}
+
+TEST(TraceIo, RejectsNonFiniteAndTrailingGarbageValues) {
+  // NaN/inf intensities would silently poison every downstream mean.
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,nan\n").find("non-finite"),
+            std::string::npos);
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,inf\n").find("non-finite"),
+            std::string::npos);
+  // Partial numeric parses ("12abc") are data errors, not value 12.
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,12abc\n").find("invalid intensity"),
+            std::string::npos);
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0x1,50\n").find("invalid hour"),
+            std::string::npos);
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\nX,0,\n").find("invalid intensity"),
+            std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadMixShares) {
+  const std::string header =
+      "zone,hour,intensity_g_kwh,hydro,solar,wind,nuclear,biomass,gas,oil,coal\n";
+  EXPECT_NE(parse_error(header + "X,0,50,0.5,0,0,0,0,nan,0,0.5\n").find("non-finite"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + "X,0,50,-0.5,0,0,0,0,0.5,0,1\n").find("negative mix share"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + "X,0,50,bad,0,0,0,0,0.5,0,0.5\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(TraceIo, RejectsEmptyZoneNames) {
+  EXPECT_NE(parse_error("zone,hour,intensity_g_kwh\n,0,50\n").find("empty zone"),
+            std::string::npos);
+}
+
 TEST(TraceIo, SyntheticYearRoundTripsThroughFile) {
   const auto& db = geo::CityDatabase::builtin();
   const TraceSynthesizer synthesizer;
