@@ -80,6 +80,38 @@ void BM_PlacementApps(benchmark::State& state) {
 }
 BENCHMARK(BM_PlacementApps)->Arg(20)->Arg(60)->Arg(100)->Arg(140)->Unit(benchmark::kMillisecond);
 
+// Intra-simulation scaling: one big CDN cell (40 sites, heavy arrivals,
+// deferral + cost-aware re-optimization + failures — every sharded epoch
+// section engaged) run under worker budgets of 1/2/4/8 lanes. The
+// "carbon_g" counter must print identically on every row: lanes change
+// wall-clock only, never bytes. On a multicore host the 8-lane row is the
+// tentpole speedup measurement for a lone year-long cell.
+void BM_YearlongCellLanes(benchmark::State& state) {
+  const geo::Region region = geo::cdn_region(geo::Continent::kNorthAmerica, 40);
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 2, sim::DeviceType::kA2), service);
+  core::SimulationConfig config = bench::apply_smoke_epochs(bench::cdn_config());
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.mean_lifetime_epochs = 24.0;
+  config.workload.max_defer_epochs = 8;
+  config.reoptimize_every = 64;
+  config.migration.cost_aware = true;
+  config.failures.mtbf_epochs = 2000.0;
+  util::ParallelismBudget budget(static_cast<std::size_t>(state.range(0)));
+  simulation.set_parallelism_budget(&budget);
+  double carbon_g = 0.0;
+  for (auto _ : state) {
+    const core::SimulationResult result = simulation.run(config);
+    carbon_g = result.telemetry.total_carbon_g();
+    benchmark::DoNotOptimize(carbon_g);
+  }
+  state.counters["lanes"] = static_cast<double>(state.range(0));
+  state.counters["carbon_g"] = carbon_g;
+}
+BENCHMARK(BM_YearlongCellLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,0 +1,43 @@
+# Determinism gate: the same workload must emit byte-identical tables no
+# matter how many worker lanes the process is given. Runs a multi-cell
+# scenario sweep and a single-cell simulation (all worker lanes on
+# intra-epoch sharding) under CARBONEDGE_THREADS=1 and =4 and fails on any
+# byte difference. Invoked by CTest (examples.cli_determinism_smoke) and by
+# the CI determinism-gate step.
+#
+#   cmake -DCLI=<carbonedge_cli> -DOUT_DIR=<scratch> -P determinism_smoke.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<carbonedge_cli> -DOUT_DIR=<dir> -P determinism_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+# (label, argument list) probes: a grid wider than the budget (cells share
+# lanes) and a single big cell (one simulation leases every lane).
+set(PROBE_sweep "sweep;florida;128")
+# 40-site CDN region: big enough that the single cell passes the engine's
+# scale gate and really dispatches its epoch sections onto the shard pool.
+set(PROBE_single "sweep;cdn_us;96;--single")
+
+foreach(probe sweep single)
+  foreach(threads 1 4)
+    execute_process(
+      # -E env: the worker budget under test reaches the probe process only.
+      COMMAND ${CMAKE_COMMAND} -E env CARBONEDGE_THREADS=${threads} ${CLI} ${PROBE_${probe}}
+      OUTPUT_FILE ${OUT_DIR}/${probe}-t${threads}.txt
+      RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "determinism probe '${probe}' failed with CARBONEDGE_THREADS=${threads} (exit ${status})")
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT_DIR}/${probe}-t1.txt ${OUT_DIR}/${probe}-t4.txt
+    RESULT_VARIABLE identical)
+  if(NOT identical EQUAL 0)
+    message(FATAL_ERROR "determinism gate: probe '${probe}' differs between "
+                        "CARBONEDGE_THREADS=1 and =4 — compare ${OUT_DIR}/${probe}-t1.txt "
+                        "against ${OUT_DIR}/${probe}-t4.txt")
+  endif()
+  message(STATUS "determinism gate: probe '${probe}' byte-identical across thread counts")
+endforeach()

@@ -5,6 +5,12 @@
 //   carbonedge_cli radius <km>                  Figure 5 radius study (US+EU)
 //   carbonedge_cli simulate <region> <policy> <epochs>
 //                                               run a regional simulation
+//   carbonedge_cli sweep <region> <epochs> [--single]
+//                                               deterministic scenario sweep
+//                                               (the CI determinism gate's
+//                                               probe: its table must be
+//                                               byte-identical for every
+//                                               CARBONEDGE_THREADS)
 //   carbonedge_cli export-traces <region> <file.csv>
 //                                               dump synthetic traces as CSV
 //   carbonedge_cli store warm [region...]       pre-synthesize traces into the
@@ -26,6 +32,7 @@
 #include "carbon/trace_cache.hpp"
 #include "carbon/trace_io.hpp"
 #include "core/simulation.hpp"
+#include "runner/scenario_runner.hpp"
 #include "store/artifact_store.hpp"
 #include "util/table.hpp"
 
@@ -35,11 +42,15 @@ namespace {
 
 int usage() {
   std::cerr << "usage: carbonedge_cli zones | analyze <region> | radius <km> |\n"
-               "       simulate <region> <policy> <epochs> | export-traces <region> <file> |\n"
-               "       store [--dir <path>] warm [region...] | ls | verify | gc\n"
+               "       simulate <region> <policy> <epochs> | sweep <region> <epochs> "
+               "[--single] |\n"
+               "       export-traces <region> <file> |\n"
+               "       store [--dir <path>] warm [region...] | ls | verify | gc "
+               "[--max-bytes=<n>]\n"
                "regions: florida west_us italy central_eu cdn_us cdn_eu\n"
                "policies: latency energy intensity carbonedge alpha=<0..1>\n"
-               "store dir: CARBONEDGE_STORE_DIR or store --dir <path>\n";
+               "store dir: CARBONEDGE_STORE_DIR or store --dir <path>\n"
+               "threads: CARBONEDGE_THREADS caps the process worker budget\n";
   return 2;
 }
 
@@ -116,6 +127,38 @@ int cmd_radius(double km) {
             << "  median best saving: " << util::format_fixed(study.median_saving, 1) << "%\n"
             << "  median one-way latency: " << util::format_fixed(study.median_latency_ms, 1)
             << " ms\n";
+  return 0;
+}
+
+int cmd_sweep(const std::string& region_name, std::uint32_t epochs, bool single) {
+  // Deterministic scenario sweep over every engine feature the intra-epoch
+  // shards touch — deferral, monthly + cost-aware re-optimization, failure
+  // injection — printed as the runner's summary table. The output contains
+  // no timings, so two runs with different CARBONEDGE_THREADS must be
+  // byte-identical; the CI determinism gate diffs exactly this. --single
+  // collapses the grid to one CarbonEdge cell, putting the whole worker
+  // budget on intra-simulation sharding.
+  core::SimulationConfig config;
+  config.epochs = epochs;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.mean_lifetime_epochs = 12.0;
+  config.workload.max_defer_epochs = 6;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.seed = 1234;
+  config.reoptimize_every = 16;
+  config.migration.cost_aware = true;
+  config.failures.mtbf_epochs = 300.0;
+  runner::ScenarioGrid grid(config);
+  grid.with_regions({region_by_name(region_name)});
+  if (single) {
+    grid.with_policies({core::PolicyConfig::carbon_edge()});
+  } else {
+    grid.with_policies({core::PolicyConfig::latency_aware(), core::PolicyConfig::carbon_edge()})
+        .with_defer_epochs({0, 6})
+        .with_workload_seeds({1, 2});
+  }
+  const auto outcomes = runner::ScenarioRunner().run(grid);
+  runner::ScenarioRunner::summarize(outcomes).print(std::cout);
   return 0;
 }
 
@@ -212,10 +255,30 @@ int cmd_store_verify(const store::ArtifactStore& artifacts) {
   return corrupt == 0 ? 0 : 1;
 }
 
-int cmd_store_gc(const store::ArtifactStore& artifacts) {
-  const store::ArtifactStore::GcReport report = artifacts.gc();
+int cmd_store_gc(const store::ArtifactStore& artifacts, const std::vector<std::string>& args) {
+  std::uintmax_t max_bytes = 0;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--max-bytes=", 0) == 0) {
+      const std::string value = arg.substr(12);
+      // All-digits check up front: std::stoull would happily wrap "-5" to
+      // ~1.8e19 and bless an effectively unlimited cap.
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad --max-bytes: " + value);
+      }
+      max_bytes = std::stoull(value);
+    } else {
+      std::cerr << "error: unknown gc argument " << arg << "\n";
+      return 2;
+    }
+  }
+  const store::ArtifactStore::GcReport report = artifacts.gc(max_bytes);
   std::cout << "removed " << report.removed_files << " files ("
             << report.reclaimed_bytes << " bytes: temp leftovers + corrupt entries)\n";
+  if (max_bytes > 0) {
+    std::cout << "evicted " << report.evicted_files << " entries (" << report.evicted_bytes
+              << " bytes: least recently used beyond " << max_bytes << " bytes)\n";
+  }
   return 0;
 }
 
@@ -240,7 +303,7 @@ int cmd_store(int argc, char** argv) {
   if (sub == "warm") return cmd_store_warm(artifacts, std::move(args));
   if (sub == "ls") return cmd_store_ls(*artifacts);
   if (sub == "verify") return cmd_store_verify(*artifacts);
-  if (sub == "gc") return cmd_store_gc(*artifacts);
+  if (sub == "gc") return cmd_store_gc(*artifacts, args);
   return usage();
 }
 
@@ -255,6 +318,16 @@ int main(int argc, char** argv) {
     if (command == "radius" && argc >= 3) return cmd_radius(std::stod(argv[2]));
     if (command == "simulate" && argc >= 5) {
       return cmd_simulate(argv[2], argv[3], static_cast<std::uint32_t>(std::stoul(argv[4])));
+    }
+    if (command == "sweep" && argc >= 4) {
+      bool single = false;
+      if (argc >= 5) {
+        // A misspelled flag must fail loudly: the determinism gate relies
+        // on --single actually selecting the single-cell probe.
+        if (std::string(argv[4]) != "--single" || argc > 5) return usage();
+        single = true;
+      }
+      return cmd_sweep(argv[2], static_cast<std::uint32_t>(std::stoul(argv[3])), single);
     }
     if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (command == "store" && argc >= 3) return cmd_store(argc, argv);

@@ -2,13 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "carbon/caltime.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace carbonedge::core {
+
+namespace {
+
+/// Below this many items a sharded epoch section runs inline: the per-item
+/// work (a forecast scan, a server lookup) is microseconds, so dispatching
+/// a handful of items would cost more than it saves. The threshold depends
+/// only on the item count — never on thread count — so the inline and
+/// sharded paths are taken identically everywhere (and produce identical
+/// bytes either way; this is purely a dispatch-overhead gate).
+constexpr std::size_t kMinItemsPerShard = 32;
+
+}  // namespace
 
 EdgeSimulation::EdgeSimulation(sim::EdgeCluster cluster,
                                const carbon::CarbonIntensityService& carbon,
@@ -25,8 +41,65 @@ EdgeSimulation::EdgeSimulation(sim::EdgeCluster cluster,
 
 SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
   sim::EdgeCluster cluster = pristine_;  // fresh state per run
+
+  // Intra-run parallelism: lease worker lanes from the budget for the whole
+  // run and spin up a private shard pool when more than one was granted.
+  // Workers only ever execute pure per-item computations into disjoint
+  // slots; the coordinating thread does every RNG draw, every reduction,
+  // and every state mutation, which is what keeps the result byte-identical
+  // for every lane count (see the class comment).
+  //
+  // Scale gate first: a run whose epoch sections can never reach the
+  // dispatch threshold skips the lease and pool outright, so small cells
+  // (most test scenarios, the narrow cells of a wide sweep) stay
+  // zero-overhead serial and leave their lanes to concurrent cells. The
+  // predicate reads only the config and cluster — never thread counts —
+  // so the execution shape is deterministic.
+  const double apps_per_site =
+      static_cast<double>(config.workload.initial_per_site) +
+      config.workload.arrivals_per_site * std::max(1.0, config.workload.mean_lifetime_epochs);
+  const double steady_state_apps = apps_per_site * static_cast<double>(cluster.size());
+  const bool may_shard = cluster.size() >= 2 * kMinItemsPerShard ||
+                         steady_state_apps >= static_cast<double>(2 * kMinItemsPerShard);
+  util::ParallelismBudget& budget = budget_ != nullptr ? *budget_ : util::global_budget();
+  util::ParallelismBudget::Lease lease;  // default: one lane, nothing held
+  if (may_shard) {
+    const std::size_t want_lanes =
+        lane_cap_ > 0 ? std::min(lane_cap_, budget.total()) : budget.total();
+    lease = budget.acquire(want_lanes);
+  }
+  const std::size_t lanes = lease.lanes();
+  std::unique_ptr<util::ThreadPool> shard_pool;
+  if (lanes > 1) shard_pool = std::make_unique<util::ThreadPool>(lanes);
+
+  // Run body(k) for k in [0, count), sharded across the leased lanes when
+  // the item count can amortize the dispatch. body(k) must write only to
+  // its own slot k. Generic so the (common) inline path pays no
+  // std::function indirection.
+  const auto parallel_items = [&](std::size_t count, const auto& body) {
+    if (shard_pool == nullptr || count < 2 * kMinItemsPerShard) {
+      for (std::size_t k = 0; k < count; ++k) body(k);
+      return;
+    }
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min(lanes, count / kMinItemsPerShard));
+    util::parallel_for(*shard_pool, 0, count, body, (count + shards - 1) / shards);
+  };
+
   sim::WorkloadGenerator generator(config.workload, cluster);
-  PlacementService service(config.policy, config.solver_options);
+  // Lend the run's shard pool to the placement solver: component dispatch
+  // reuses lanes this simulation already leased (they idle during the
+  // solve phase) instead of drawing the budget down further every epoch.
+  solver::AssignmentOptions solver_options = config.solver_options;
+  if (shard_pool != nullptr && solver_options.shard_threads == 0 &&
+      solver_options.shard_pool == nullptr) {
+    solver_options.shard_pool = shard_pool.get();
+  }
+  // Forward the (possibly injected) budget so a serial-capped run keeps
+  // the solver's default dispatch serial too, instead of it leasing from
+  // the process-global budget behind the injection's back.
+  if (solver_options.budget == nullptr) solver_options.budget = &budget;
+  PlacementService service(config.policy, solver_options);
   PowerManager power_manager(config.power);
   Orchestrator orchestrator;
   util::Rng failure_rng(config.failures.seed);
@@ -45,6 +118,21 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
   // victims, whose redeployment is not a data-movement migration.
   constexpr std::size_t kNoAccountedSite = static_cast<std::size_t>(-1);
   std::unordered_map<sim::AppId, std::size_t> displaced_from;
+
+  // Reused shard buffers (allocated once, cleared per epoch). The hosted
+  // snapshot materializes the map's iteration order — identical for every
+  // lane count because all map mutations happen on the coordinating thread
+  // — so sharded per-app work can index it and serial folds can replay it.
+  std::vector<std::pair<sim::AppId, const HostedApp*>> hosted_snapshot;
+  std::vector<std::vector<std::uint8_t>> failure_draws(cluster.size());
+  std::vector<std::uint8_t> defer_start;
+  std::vector<std::uint8_t> migration_veto;
+  std::vector<sim::AppEpochSample> app_samples;
+  const auto snapshot_hosted = [&] {
+    hosted_snapshot.clear();
+    hosted_snapshot.reserve(hosted.size());
+    for (const auto& [id, entry] : hosted) hosted_snapshot.emplace_back(id, &entry);
+  };
 
   const auto find_server = [&](std::size_t site, std::uint32_t server_id) -> sim::EdgeServer& {
     for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
@@ -102,10 +190,34 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     }
     if (config.failures.mtbf_epochs > 0.0) {
       const double fail_p = 1.0 / config.failures.mtbf_epochs;
+      // Pre-draw the epoch's failure streams into per-site buffers, one
+      // Bernoulli per eligible (powered-on, healthy) server in site/server
+      // order — exactly the serial engine's consumption. Materializing the
+      // draws up front decouples them from however the sharded sections
+      // interleave later: draw order can never depend on thread count.
+      // Eligibility is stable across this pass (marking one server failed
+      // never changes another's power or failure state), so the application
+      // loop below replays the same predicate to index the stream.
       for (std::size_t site = 0; site < cluster.size(); ++site) {
+        std::vector<std::uint8_t>& draws = failure_draws[site];
+        draws.clear();
+        for (const sim::EdgeServer& server : cluster.sites()[site].servers()) {
+          if (!server.powered_on() || server.failed()) continue;
+          draws.push_back(failure_rng.bernoulli(fail_p) ? 1 : 0);
+        }
+      }
+      for (std::size_t site = 0; site < cluster.size(); ++site) {
+        std::size_t draw_index = 0;
         for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
           if (!server.powered_on() || server.failed()) continue;
-          if (!failure_rng.bernoulli(fail_p)) continue;
+          if (draw_index >= failure_draws[site].size()) {
+            // The eligibility predicate diverged between the draw pass and
+            // this replay (a failure side effect must have changed another
+            // server's power/failure state) — that desynchronizes the
+            // stream, so fail loudly rather than consume wrong draws.
+            throw std::logic_error("failure stream desynchronized from eligibility replay");
+          }
+          if (!failure_draws[site][draw_index++]) continue;
           // Re-batch the apps that were on the crashed server. Marking them
           // displaced keeps them alive (retried, never counted as fresh
           // rejections) if the shrunken cluster cannot re-place them at once.
@@ -153,27 +265,41 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     // Release deferred applications at low-intensity hours: start when the
     // origin zone's current intensity is no worse than anything the
     // remaining defer budget could buy (the "wait awhile" heuristic), or
-    // when the budget runs out.
-    for (auto it = deferred.begin(); it != deferred.end();) {
-      const std::string& zone = cluster.sites()[it->origin_site].zone();
-      bool start = it->max_defer_epochs == 0;
+    // when the budget runs out. The per-app forecast scans are the epoch's
+    // heaviest pure reads (a window of forecaster evaluations each), so
+    // they shard across lanes into per-app slots; the queue itself is then
+    // updated serially in queue order.
+    defer_start.assign(deferred.size(), 0);
+    parallel_items(deferred.size(), [&](std::size_t k) {
+      const sim::Application& app = deferred[k];
+      bool start = app.max_defer_epochs == 0;
       if (!start) {
+        const std::string& zone = cluster.sites()[app.origin_site].zone();
         const double now_ci = carbon_->intensity(zone, hour);
         const auto window = static_cast<std::uint32_t>(
-            std::ceil(static_cast<double>(it->max_defer_epochs) * config.epoch_hours));
+            std::ceil(static_cast<double>(app.max_defer_epochs) * config.epoch_hours));
         double future_min = now_ci;
         for (const double v : carbon_->forecast(zone, hour + 1, window)) {
           future_min = std::min(future_min, v);
         }
         start = now_ci <= future_min * 1.02;
       }
-      if (start) {
-        batch.push_back(std::move(*it));
-        it = deferred.erase(it);
-      } else {
-        --it->max_defer_epochs;
-        ++it;
+      defer_start[k] = start ? 1 : 0;
+    });
+    {
+      // Starters join the batch, the rest spend one epoch of budget; the
+      // stable in-place compaction preserves the old erase-as-you-go order.
+      std::size_t keep = 0;
+      for (std::size_t k = 0; k < deferred.size(); ++k) {
+        if (defer_start[k]) {
+          batch.push_back(std::move(deferred[k]));
+        } else {
+          --deferred[k].max_defer_epochs;
+          if (keep != k) deferred[keep] = std::move(deferred[k]);
+          ++keep;
+        }
       }
+      deferred.resize(keep);
     }
     // Re-optimization cadence: calendar-month boundaries (the epoch whose
     // hour enters a new month) or a fixed epoch period.
@@ -195,9 +321,16 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     std::unordered_map<sim::AppId, PreviousPlacement> previous_placement;
     if (migrate) {
       std::vector<sim::AppId> to_move;
-      for (const auto& [id, entry] : hosted) {
-        if (config.migration.cost_aware) {
-          // Veto moves whose projected benefit cannot repay the transfer.
+      snapshot_hosted();
+      if (config.migration.cost_aware) {
+        // Veto moves whose projected benefit cannot repay the transfer.
+        // Each app's veto scans every feasible server — the quadratic bulk
+        // of a re-optimization epoch — so the scans shard across lanes;
+        // the verdicts are then folded in snapshot order, preserving the
+        // serial engine's to_move order (and thus the solver's input).
+        migration_veto.assign(hosted_snapshot.size(), 0);
+        parallel_items(hosted_snapshot.size(), [&](std::size_t k) {
+          const HostedApp& entry = *hosted_snapshot[k].second;
           const sim::EdgeServer& current = find_server(entry.site, entry.server);
           const std::string& zone = cluster.sites()[entry.site].zone();
           const double current_rate = carbon_rate_g(entry.app, current, zone, hour);
@@ -216,12 +349,17 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
                                                    entry.app.remaining_epochs);
           const double benefit = (current_rate - best_rate) * lifetime;
           const auto [move_energy, move_carbon] = migration_cost(entry.app, zone, hour);
-          if (benefit < move_carbon * config.migration.hysteresis) {
+          migration_veto[k] = benefit < move_carbon * config.migration.hysteresis ? 1 : 0;
+        });
+        for (std::size_t k = 0; k < hosted_snapshot.size(); ++k) {
+          if (migration_veto[k]) {
             ++result.migrations_skipped;
-            continue;
+          } else {
+            to_move.push_back(hosted_snapshot[k].first);
           }
         }
-        to_move.push_back(id);
+      } else {
+        for (const auto& [id, entry] : hosted_snapshot) to_move.push_back(id);
       }
       for (const sim::AppId id : to_move) {
         auto& entry = hosted.at(id);
@@ -364,29 +502,28 @@ SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
     record.migration_carbon_g = epoch_migration_carbon;
     record.migrations = epoch_migrations;
     record.failures = epoch_failures;
+    // Per-site records are pure functions of (site, zone intensity) into
+    // disjoint slots; per-app latency samples are computed shard-parallel
+    // into per-app slots and folded into the epoch sums and the response
+    // histogram in snapshot order — the same floating-point order as the
+    // serial engine, for every lane count.
     record.sites.resize(cluster.size());
-    for (std::size_t s = 0; s < cluster.size(); ++s) {
+    parallel_items(cluster.size(), [&](std::size_t s) {
       const sim::EdgeDataCenter& site = cluster.sites()[s];
-      sim::SiteEpochRecord& sr = record.sites[s];
-      const double watts =
-          config.account_base_power ? site.power_draw_w() : site.dynamic_power_w();
-      sr.energy_wh = watts * config.epoch_hours;
-      sr.intensity_g_kwh = carbon_->intensity(site.zone(), hour);
-      sr.carbon_g = sr.energy_wh / 1000.0 * sr.intensity_g_kwh;
-      sr.apps_hosted = static_cast<std::uint32_t>(site.app_count());
-      for (const sim::EdgeServer& server : site.servers()) {
-        for (const sim::AppInstance& instance : server.apps()) sr.rps_hosted += instance.rps;
-      }
-    }
-    for (const auto& [id, entry] : hosted) {
+      record.sites[s] = sim::make_site_epoch_record(site, carbon_->intensity(site.zone(), hour),
+                                                    config.epoch_hours,
+                                                    config.account_base_power);
+    });
+    snapshot_hosted();
+    app_samples.resize(hosted_snapshot.size());
+    parallel_items(hosted_snapshot.size(), [&](std::size_t k) {
+      const HostedApp& entry = *hosted_snapshot[k].second;
       const double rtt = 2.0 * latency_.one_way_ms(entry.app.origin_site, entry.site);
       const sim::EdgeServer& server = find_server(entry.site, entry.server);
-      const double response = rtt + server.mean_service_ms(entry.app.model);
-      record.rtt_weighted_sum_ms += rtt * entry.app.rps;
-      record.response_weighted_sum_ms += response * entry.app.rps;
-      record.rps_total += entry.app.rps;
-      result.telemetry.add_response_sample(response, entry.app.rps);
-    }
+      app_samples[k] = sim::AppEpochSample{rtt, rtt + server.mean_service_ms(entry.app.model),
+                                           entry.app.rps};
+    });
+    result.telemetry.fold_app_samples(record, app_samples);
     result.telemetry.record(std::move(record));
 
     // 6. Power management between epochs.

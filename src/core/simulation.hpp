@@ -12,6 +12,7 @@
 #include "geo/latency.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/workload.hpp"
+#include "util/parallelism.hpp"
 
 namespace carbonedge::core {
 
@@ -97,12 +98,32 @@ struct SimulationResult {
 /// Owns a pristine cluster copy; every run() starts from that state, so the
 /// same simulation object can evaluate multiple policies on identical
 /// workloads (the workload stream depends only on the config seed).
+///
+/// Threading: run() shards the embarrassingly parallel per-site work of
+/// every epoch — failure-stream sampling, deferral forecast evaluation,
+/// the cost-aware migration scan, per-server energy/carbon accounting, and
+/// telemetry accumulation — across worker lanes leased from the process
+/// ParallelismBudget (CARBONEDGE_THREADS), and lends those lanes to the
+/// placement solver's component dispatch. Every sharded section computes
+/// pure per-item values into disjoint slots and reduces them serially in a
+/// fixed order, with all RNG draws and state mutation on the coordinating
+/// thread, so a run's result is byte-identical for every thread count —
+/// including the fully serial engine.
 class EdgeSimulation {
  public:
   EdgeSimulation(sim::EdgeCluster cluster, const carbon::CarbonIntensityService& carbon,
                  geo::LatencyModel latency_model = geo::LatencyModel{});
 
   [[nodiscard]] SimulationResult run(const SimulationConfig& config);
+
+  /// Lease intra-run worker lanes from `budget` instead of the process-wide
+  /// util::global_budget() (test injection; nullptr restores the default).
+  void set_parallelism_budget(util::ParallelismBudget* budget) noexcept { budget_ = budget; }
+  /// Cap the lanes one run() may lease (0 = whatever the budget can give).
+  /// ScenarioRunner sets this to the budget's fair per-cell share so a
+  /// narrow grid splits leftover workers across cells instead of letting
+  /// the first cell monopolize them.
+  void set_lane_cap(std::size_t lanes) noexcept { lane_cap_ = lanes; }
 
   [[nodiscard]] const geo::LatencyMatrix& latency() const noexcept { return latency_; }
   [[nodiscard]] const sim::EdgeCluster& pristine_cluster() const noexcept { return pristine_; }
@@ -117,6 +138,8 @@ class EdgeSimulation {
   sim::EdgeCluster pristine_;
   const carbon::CarbonIntensityService* carbon_;
   geo::LatencyMatrix latency_;
+  util::ParallelismBudget* budget_ = nullptr;  // nullptr = util::global_budget()
+  std::size_t lane_cap_ = 0;
 };
 
 /// Convenience: run one config for each policy on identical workloads and

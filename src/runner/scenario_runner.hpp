@@ -20,6 +20,10 @@ namespace carbonedge::store {
 class SweepStore;
 }
 
+namespace carbonedge::util {
+class ParallelismBudget;
+}
+
 namespace carbonedge::runner {
 
 /// One completed cell: the scenario that was run and its simulation result.
@@ -29,8 +33,15 @@ struct ScenarioOutcome {
 };
 
 struct ScenarioRunnerOptions {
-  /// Worker threads for the sweep (0 = hardware concurrency).
+  /// Worker threads for the sweep. 0 (the default) leases one lane per
+  /// concurrently running cell from the process worker budget
+  /// (util::ParallelismBudget, CARBONEDGE_THREADS) and hands each cell an
+  /// even share of the leftover as intra-simulation shard lanes; a nonzero
+  /// value forces exactly that many cell workers.
   std::size_t threads = 0;
+  /// Budget to lease from instead of util::global_budget() (test
+  /// injection; also forwarded to every cell's EdgeSimulation).
+  util::ParallelismBudget* budget = nullptr;
   /// Persistent sweep-cell cache (store/sweep_store.hpp). When set, cells
   /// already in the store are loaded instead of re-simulated (their carbon
   /// services are not even built) and freshly computed cells are saved

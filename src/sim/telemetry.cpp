@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "sim/datacenter.hpp"
+
 namespace carbonedge::sim {
+
+SiteEpochRecord make_site_epoch_record(const EdgeDataCenter& site, double intensity_g_kwh,
+                                       double epoch_hours, bool account_base_power) {
+  SiteEpochRecord record;
+  const double watts = account_base_power ? site.power_draw_w() : site.dynamic_power_w();
+  record.energy_wh = watts * epoch_hours;
+  record.intensity_g_kwh = intensity_g_kwh;
+  record.carbon_g = record.energy_wh / 1000.0 * record.intensity_g_kwh;
+  record.apps_hosted = static_cast<std::uint32_t>(site.app_count());
+  for (const EdgeServer& server : site.servers()) {
+    for (const AppInstance& instance : server.apps()) record.rps_hosted += instance.rps;
+  }
+  return record;
+}
 
 double EpochRecord::energy_wh() const noexcept {
   double total = migration_energy_wh;
@@ -25,6 +41,16 @@ double EpochRecord::mean_response_ms() const noexcept {
 }
 
 void Telemetry::record(EpochRecord record) { epochs_.push_back(std::move(record)); }
+
+void Telemetry::fold_app_samples(EpochRecord& record,
+                                 std::span<const AppEpochSample> samples) {
+  for (const AppEpochSample& sample : samples) {
+    record.rtt_weighted_sum_ms += sample.rtt_ms * sample.rps;
+    record.response_weighted_sum_ms += sample.response_ms * sample.rps;
+    record.rps_total += sample.rps;
+    add_response_sample(sample.response_ms, sample.rps);
+  }
+}
 
 double Telemetry::total_energy_wh() const noexcept {
   double total = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/parallelism.hpp"
 #include "util/thread_pool.hpp"
 
 namespace carbonedge::solver {
@@ -116,11 +117,29 @@ AssignmentSolution solve_sharded(const AssignmentProblem& problem,
     // A lone (sub-spanning) component gains nothing from dispatch; skip the
     // pool round trip that every re-optimization epoch would otherwise pay.
     body(0);
-  } else if (options.shard_threads == 0) {
-    util::parallel_for(util::global_pool(), 0, components.size(), body, /*chunk=*/1);
-  } else {
+  } else if (options.shard_threads != 0) {
     util::ThreadPool pool(options.shard_threads);
     util::parallel_for(pool, 0, components.size(), body, /*chunk=*/1);
+  } else if (options.shard_pool != nullptr) {
+    // Lanes the caller already leased (EdgeSimulation's per-run shard
+    // pool, idle during the solve phase) — no extra budget draw.
+    util::parallel_for(*options.shard_pool, 0, components.size(), body, /*chunk=*/1);
+  } else {
+    // Top-level solve: lease lanes from the (injectable) budget so nested
+    // runner x simulation x solver load stays within CARBONEDGE_THREADS,
+    // and run on the cached process pool — chunked down to the lease, so
+    // concurrency honors the lanes without per-call pool construction
+    // (this path runs on every re-optimization epoch of a serial-capped
+    // simulation).
+    util::ParallelismBudget& budget =
+        options.budget != nullptr ? *options.budget : util::global_budget();
+    const util::ParallelismBudget::Lease lease = budget.acquire(components.size());
+    if (lease.lanes() <= 1) {
+      for (std::size_t c = 0; c < components.size(); ++c) body(c);
+    } else {
+      const std::size_t chunk = (components.size() + lease.lanes() - 1) / lease.lanes();
+      util::parallel_for(util::global_pool(), 0, components.size(), body, chunk);
+    }
   }
 
   std::vector<std::size_t> assignment(problem.num_apps(), kUnassigned);

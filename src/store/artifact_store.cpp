@@ -1,10 +1,14 @@
 #include "store/artifact_store.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <system_error>
+#include <vector>
 
 namespace carbonedge::store {
 
@@ -81,9 +85,12 @@ void ArtifactStore::save(ArtifactKind kind, std::string_view key,
   write_artifact_file(entry_path(kind, key), kind, payload);
 }
 
+std::filesystem::path ArtifactStore::lock_path(ArtifactKind kind, std::string_view key) const {
+  return root_ / "locks" / (std::string(dir_name(kind)) + "-" + std::string(key) + ".lock");
+}
+
 util::FileLock ArtifactStore::lock_entry(ArtifactKind kind, std::string_view key) const {
-  return util::FileLock(root_ / "locks" /
-                        (std::string(dir_name(kind)) + "-" + std::string(key) + ".lock"));
+  return util::FileLock(lock_path(kind, key));
 }
 
 std::vector<ArtifactStore::Entry> ArtifactStore::list(bool verify) const {
@@ -113,8 +120,50 @@ std::vector<ArtifactStore::Entry> ArtifactStore::list(bool verify) const {
   return entries;
 }
 
-ArtifactStore::GcReport ArtifactStore::gc() const {
+namespace {
+
+/// Last use of an entry for LRU eviction: the newer of atime and mtime
+/// (reads refresh atime — on relatime mounts lazily, but still monotone
+/// enough for a cache — and rewrites refresh mtime). A failed stat reports
+/// the maximum so racing entries sort as freshest and are never evicted.
+std::int64_t last_use_ns(const std::filesystem::path& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::numeric_limits<std::int64_t>::max();
+  const auto to_ns = [](const ::timespec& ts) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+           static_cast<std::int64_t>(ts.tv_nsec);
+  };
+  return std::max(to_ns(st.st_atim), to_ns(st.st_mtim));
+}
+
+}  // namespace
+
+ArtifactStore::GcReport ArtifactStore::gc(std::uintmax_t max_bytes) const {
   GcReport report;
+  // Snapshot LRU candidates before anything below opens entry contents:
+  // the integrity sweep's reads would refresh every entry's atime and
+  // erase the very recency signal eviction orders by.
+  struct Candidate {
+    std::filesystem::path path;
+    ArtifactKind kind{};
+    std::string key;
+    std::uintmax_t bytes = 0;
+    std::int64_t last_use = 0;
+  };
+  std::vector<Candidate> candidates;
+  if (max_bytes > 0) {
+    for (const ArtifactKind kind : kAllKinds) {
+      std::error_code ec;
+      for (const auto& file : std::filesystem::directory_iterator(kind_dir(kind), ec)) {
+        if (!file.is_regular_file() || file.path().extension() != kArtifactExtension) continue;
+        std::error_code size_ec;
+        const std::uintmax_t size = file.file_size(size_ec);
+        if (size_ec || size == static_cast<std::uintmax_t>(-1)) continue;
+        candidates.push_back(Candidate{file.path(), kind, file.path().stem().string(), size,
+                                       last_use_ns(file.path())});
+      }
+    }
+  }
   const auto remove_file = [&report](const std::filesystem::path& path) {
     std::error_code ec;
     const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
@@ -159,6 +208,37 @@ ArtifactStore::GcReport ArtifactStore::gc() const {
       if (time_ec || now - written <= kTempGraceLimit) continue;
       const util::FileLock probe(file.path(), util::FileLock::Mode::kTry);
       if (probe.held()) remove_file(file.path());
+    }
+  }
+  // Size cap: evict least-recently-used intact entries until the store
+  // fits. Runs after the corrupt/temp sweep (junk never crowds out live
+  // entries — candidates it removed are skipped below), over the snapshot
+  // taken up top.
+  if (max_bytes > 0) {
+    std::uintmax_t total = 0;
+    std::error_code ec;
+    std::erase_if(candidates, [&](const Candidate& candidate) {
+      return !std::filesystem::exists(candidate.path, ec) || ec;
+    });
+    for (const Candidate& candidate : candidates) total += candidate.bytes;
+    std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+      return a.last_use != b.last_use ? a.last_use < b.last_use
+                                      : a.path.native() < b.path.native();
+    });
+    for (const Candidate& candidate : candidates) {
+      if (total <= max_bytes) break;
+      // In-flight entries (another process computing or reading under the
+      // entry lock) are never evicted; holding the probe lock across the
+      // removal keeps a new computation from racing the unlink.
+      const util::FileLock probe(lock_path(candidate.kind, candidate.key),
+                                 util::FileLock::Mode::kTry);
+      if (!probe.held()) continue;
+      std::error_code remove_ec;
+      if (std::filesystem::remove(candidate.path, remove_ec) && !remove_ec) {
+        ++report.evicted_files;
+        report.evicted_bytes += candidate.bytes;
+        total -= candidate.bytes;
+      }
     }
   }
   return report;

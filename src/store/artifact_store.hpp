@@ -72,14 +72,27 @@ class ArtifactStore {
   [[nodiscard]] std::vector<Entry> list(bool verify = false) const;
 
   struct GcReport {
-    std::size_t removed_files = 0;
-    std::uintmax_t reclaimed_bytes = 0;
+    std::size_t removed_files = 0;       // temp leftovers + corrupt entries
+    std::uintmax_t reclaimed_bytes = 0;  // bytes freed by those removals
+    std::size_t evicted_files = 0;       // intact entries evicted by the cap
+    std::uintmax_t evicted_bytes = 0;
   };
   /// Remove crashed writers' temp leftovers and corrupt entries. Temp
   /// files younger than a grace period are presumed to belong to a live
   /// writer mid-publish and are kept, so gc is safe to run concurrently
   /// with active sweeps.
-  GcReport gc() const;
+  ///
+  /// With `max_bytes > 0`, additionally bound the store: while the intact
+  /// entries total more than `max_bytes`, evict least-recently-used first
+  /// (the newer of access and modification time, so both reads and
+  /// rewrites refresh an entry; recency is snapshotted before this call's
+  /// own integrity reads). On noatime mounts — or after a separate
+  /// verify/gc pass flattened atimes — recency degrades gracefully toward
+  /// modification time with a deterministic path tie-break. Entries whose
+  /// advisory lock is held are in flight — another process is computing or
+  /// reading them — and are never evicted; an evicted entry is only ever a
+  /// cache miss, to be regenerated on next use.
+  GcReport gc(std::uintmax_t max_bytes = 0) const;
 
   /// Reads that found a corrupt entry (treated as misses) on this instance.
   [[nodiscard]] std::uint64_t corrupt_reads() const noexcept {
@@ -88,6 +101,7 @@ class ArtifactStore {
 
  private:
   [[nodiscard]] std::filesystem::path kind_dir(ArtifactKind kind) const;
+  [[nodiscard]] std::filesystem::path lock_path(ArtifactKind kind, std::string_view key) const;
 
   std::filesystem::path root_;
   mutable std::atomic<std::uint64_t> corrupt_reads_{0};

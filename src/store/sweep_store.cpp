@@ -37,8 +37,9 @@ void mix_solver(util::Fingerprint& fp, const solver::AssignmentOptions& s) {
   fp.mix(static_cast<std::uint64_t>(s.local_search_rounds));
   fp.mix(static_cast<std::uint64_t>(s.exact_size_limit));
   fp.mix(s.shard);
-  // shard_threads is excluded: the decomposition contract guarantees
-  // bit-identical answers for every thread count.
+  // shard_threads and shard_pool are excluded: the decomposition contract
+  // guarantees bit-identical answers for every thread count, and the pool
+  // is an execution vehicle, not an input.
 }
 
 void mix_config(util::Fingerprint& fp, const core::SimulationConfig& c) {

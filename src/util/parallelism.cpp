@@ -1,0 +1,71 @@
+#include "util/parallelism.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace carbonedge::util {
+
+std::size_t configured_thread_count() {
+  if (const char* env = std::getenv("CARBONEDGE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ParallelismBudget::ParallelismBudget(std::size_t total_lanes)
+    : total_(total_lanes == 0 ? 1 : total_lanes) {
+  extra_available_.store(total_ - 1, std::memory_order_relaxed);
+}
+
+ParallelismBudget::Lease& ParallelismBudget::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    budget_ = other.budget_;
+    extra_ = other.extra_;
+    other.budget_ = nullptr;
+    other.extra_ = 0;
+  }
+  return *this;
+}
+
+void ParallelismBudget::Lease::release() noexcept {
+  if (budget_ != nullptr && extra_ > 0) budget_->release_extra(extra_);
+  budget_ = nullptr;
+  extra_ = 0;
+}
+
+ParallelismBudget::Lease ParallelismBudget::acquire(std::size_t want_lanes) noexcept {
+  const std::size_t want_extra = want_lanes > 1 ? want_lanes - 1 : 0;
+  std::size_t granted = 0;
+  std::size_t available = extra_available_.load(std::memory_order_relaxed);
+  while (granted < want_extra && available > 0) {
+    const std::size_t take = std::min(want_extra, available);
+    if (extra_available_.compare_exchange_weak(available, available - take,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+      granted = take;
+      break;
+    }
+  }
+  // High-water mark of the root lane plus every extra lane out on lease.
+  const std::size_t in_use = 1 + (total_ - 1 - extra_available_.load(std::memory_order_relaxed));
+  std::size_t peak = peak_lanes_.load(std::memory_order_relaxed);
+  while (in_use > peak &&
+         !peak_lanes_.compare_exchange_weak(peak, in_use, std::memory_order_relaxed)) {
+  }
+  return Lease(this, granted);
+}
+
+void ParallelismBudget::release_extra(std::size_t extra) noexcept {
+  extra_available_.fetch_add(extra, std::memory_order_acq_rel);
+}
+
+ParallelismBudget& global_budget() {
+  static ParallelismBudget budget(configured_thread_count());
+  return budget;
+}
+
+}  // namespace carbonedge::util

@@ -1,0 +1,97 @@
+// Process-wide worker-budget arbiter for nested parallelism.
+//
+// CarbonEdge now parallelizes at three nested layers: ScenarioRunner fans
+// out across grid cells, EdgeSimulation shards per-site work inside one
+// cell, and solve_sharded dispatches placement components. Each layer sized
+// for the whole machine would oversubscribe multiplicatively (cells x sim
+// shards x solver shards); each layer sized for the worst case would leave
+// cores idle whenever the grid is narrower than the machine. Instead every
+// layer leases lanes from one ParallelismBudget: the sweep takes what its
+// cell count can use, and whatever is left flows down to the simulations
+// and solvers it spawns (first come, first served).
+//
+// The budget arbitrates *throughput only*. Every parallel loop in the
+// project computes per-item values into disjoint slots and reduces them in
+// a fixed order, so results are byte-identical no matter how many lanes a
+// lease happens to grant — CARBONEDGE_THREADS=1 and =64 produce the same
+// tables (asserted by tests/test_parallelism.cpp and the determinism-gate
+// CI job).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace carbonedge::util {
+
+/// Total worker lanes the process should use: the CARBONEDGE_THREADS
+/// environment variable when it parses as a positive integer, otherwise
+/// hardware concurrency (at least 1).
+[[nodiscard]] std::size_t configured_thread_count();
+
+class ParallelismBudget {
+ public:
+  /// A budget of `total_lanes` concurrent execution lanes (>= 1). One lane
+  /// is implicitly owned by whichever thread enters a parallel layer first,
+  /// so `total_lanes - 1` extra lanes are grantable.
+  explicit ParallelismBudget(std::size_t total_lanes);
+
+  ParallelismBudget(const ParallelismBudget&) = delete;
+  ParallelismBudget& operator=(const ParallelismBudget&) = delete;
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Extra lanes a call to acquire() could be granted right now.
+  [[nodiscard]] std::size_t available() const noexcept {
+    return extra_available_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of concurrent lanes: the root caller's own lane plus
+  /// every extra lane out on lease at the same moment. A nested lease's
+  /// lanes() == 1 adds nothing — it runs on a lane its parent already
+  /// holds. Never exceeds total() (the invariant the nested-load test
+  /// asserts), assuming one top-level entry thread.
+  [[nodiscard]] std::size_t peak_lanes() const noexcept {
+    return peak_lanes_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII grant of execution lanes. lanes() >= 1 always: the caller's own
+  /// thread is a lane no budget can refuse, so a depleted budget degrades a
+  /// layer to serial inline execution rather than blocking it.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept : budget_(other.budget_), extra_(other.extra_) {
+      other.budget_ = nullptr;
+      other.extra_ = 0;
+    }
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { release(); }
+
+    /// Concurrent lanes this lease permits (1 = run serial inline).
+    [[nodiscard]] std::size_t lanes() const noexcept { return 1 + extra_; }
+
+   private:
+    friend class ParallelismBudget;
+    Lease(ParallelismBudget* budget, std::size_t extra) : budget_(budget), extra_(extra) {}
+    void release() noexcept;
+
+    ParallelismBudget* budget_ = nullptr;
+    std::size_t extra_ = 0;
+  };
+
+  /// Lease up to `want_lanes` concurrent lanes: the caller's own lane plus
+  /// as many of the remaining `want_lanes - 1` as are available. Never
+  /// blocks and never grants zero — exhaustion means lanes() == 1.
+  [[nodiscard]] Lease acquire(std::size_t want_lanes) noexcept;
+
+ private:
+  void release_extra(std::size_t extra) noexcept;
+
+  std::size_t total_ = 1;
+  std::atomic<std::size_t> extra_available_{0};
+  std::atomic<std::size_t> peak_lanes_{0};
+};
+
+/// The process-wide budget every layer leases from by default; sized by
+/// configured_thread_count() on first use.
+[[nodiscard]] ParallelismBudget& global_budget();
+
+}  // namespace carbonedge::util

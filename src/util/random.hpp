@@ -102,6 +102,17 @@ class Rng {
   /// Returns weights.size() only if every weight is zero or the span is empty.
   [[nodiscard]] std::size_t weighted_index(const double* weights, std::size_t count) noexcept;
 
+  /// Derive an independent child stream for entity `stream` (site, shard,
+  /// scenario...). The child's seed mixes the parent's *current* state with
+  /// the stream index, so forks taken at different points diverge, while the
+  /// parent's own sequence is left untouched — draws from a fork never
+  /// perturb draws from the parent, which is what makes pre-forked per-
+  /// entity streams safe to consume in any thread order.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    std::uint64_t s = state_[0] ^ rotl(state_[2], 23) ^ mix64(stream + 0x632BE59BD9B4E019ULL);
+    return Rng(splitmix64(s));
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

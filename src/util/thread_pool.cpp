@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/parallelism.hpp"
+
 namespace carbonedge::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -97,7 +99,9 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  // Sized by the process worker budget (CARBONEDGE_THREADS), not raw
+  // hardware concurrency, so a serial run really is serial end to end.
+  static ThreadPool pool(configured_thread_count());
   return pool;
 }
 

@@ -1,6 +1,8 @@
 #include "store/artifact_store.hpp"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <atomic>
 #include <bit>
@@ -226,6 +228,78 @@ TEST(ArtifactStore, GcSweepsTempLeftoversAndCorruptEntries) {
   EXPECT_FALSE(std::filesystem::exists(stale_lock));
   EXPECT_TRUE(std::filesystem::exists(fresh_lock));
   EXPECT_EQ(store.list().size(), 1u);
+}
+
+// Backdate both atime and mtime (gc's LRU clock is the newer of the two).
+void backdate(const std::filesystem::path& path, std::chrono::seconds age) {
+  const auto stamp =
+      std::chrono::system_clock::now().time_since_epoch() - age;
+  ::timespec times[2];
+  times[0].tv_sec = times[1].tv_sec =
+      std::chrono::duration_cast<std::chrono::seconds>(stamp).count();
+  times[0].tv_nsec = times[1].tv_nsec = 0;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+TEST(ArtifactStore, GcMaxBytesEvictsLeastRecentlyUsedFirst) {
+  TempStoreDir tmp;
+  const ArtifactStore store(tmp.dir);
+  store.save(ArtifactKind::kCarbonTrace, "oldest", std::string(64, 'a'));
+  store.save(ArtifactKind::kSweepOutcome, "middle", std::string(64, 'b'));
+  store.save(ArtifactKind::kCarbonTrace, "newest", std::string(64, 'c'));
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "oldest"), std::chrono::hours(3));
+  backdate(store.entry_path(ArtifactKind::kSweepOutcome, "middle"), std::chrono::hours(2));
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "newest"), std::chrono::hours(1));
+  const std::uintmax_t entry_bytes =
+      std::filesystem::file_size(store.entry_path(ArtifactKind::kCarbonTrace, "oldest"));
+
+  // Without a cap nothing intact is touched.
+  const ArtifactStore::GcReport uncapped = store.gc();
+  EXPECT_EQ(uncapped.evicted_files, 0u);
+  EXPECT_EQ(store.list().size(), 3u);
+
+  // The uncapped pass's integrity reads refresh atimes on strict-atime
+  // mounts; restore the recency ordering under test.
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "oldest"), std::chrono::hours(3));
+  backdate(store.entry_path(ArtifactKind::kSweepOutcome, "middle"), std::chrono::hours(2));
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "newest"), std::chrono::hours(1));
+
+  // Capping at two entries' worth drops exactly the least recently used.
+  const ArtifactStore::GcReport capped = store.gc(2 * entry_bytes);
+  EXPECT_EQ(capped.evicted_files, 1u);
+  EXPECT_EQ(capped.evicted_bytes, entry_bytes);
+  EXPECT_FALSE(store.contains(ArtifactKind::kCarbonTrace, "oldest"));
+  EXPECT_TRUE(store.contains(ArtifactKind::kSweepOutcome, "middle"));
+  EXPECT_TRUE(store.contains(ArtifactKind::kCarbonTrace, "newest"));
+
+  // A touched entry's LRU position refreshes (a load() does this through
+  // atime on mounts that track it; force it portably): with a one-entry
+  // cap "middle" survives and "newest" is evicted instead.
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "newest"), std::chrono::hours(1));
+  EXPECT_TRUE(store.load(ArtifactKind::kSweepOutcome, "middle").has_value());
+  backdate(store.entry_path(ArtifactKind::kSweepOutcome, "middle"), std::chrono::seconds(0));
+  const ArtifactStore::GcReport tight = store.gc(entry_bytes);
+  EXPECT_EQ(tight.evicted_files, 1u);
+  EXPECT_TRUE(store.contains(ArtifactKind::kSweepOutcome, "middle"));
+  EXPECT_FALSE(store.contains(ArtifactKind::kCarbonTrace, "newest"));
+}
+
+TEST(ArtifactStore, GcMaxBytesNeverEvictsInFlightEntries) {
+  TempStoreDir tmp;
+  const ArtifactStore store(tmp.dir);
+  store.save(ArtifactKind::kCarbonTrace, "busy", std::string(64, 'a'));
+  store.save(ArtifactKind::kCarbonTrace, "idle", std::string(64, 'b'));
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "busy"), std::chrono::hours(4));
+  backdate(store.entry_path(ArtifactKind::kCarbonTrace, "idle"), std::chrono::hours(1));
+
+  // "busy" is the LRU candidate, but a held entry lock marks it in flight;
+  // eviction must fall through to the next-oldest entry instead.
+  const util::FileLock in_flight = store.lock_entry(ArtifactKind::kCarbonTrace, "busy");
+  if (!in_flight.held()) GTEST_SKIP() << "advisory locks unavailable on this platform";
+  const ArtifactStore::GcReport report = store.gc(1);
+  EXPECT_EQ(report.evicted_files, 1u);
+  EXPECT_TRUE(store.contains(ArtifactKind::kCarbonTrace, "busy"));
+  EXPECT_FALSE(store.contains(ArtifactKind::kCarbonTrace, "idle"));
 }
 
 TEST(ArtifactStore, OpenFromEnvRequiresTheVariable) {
