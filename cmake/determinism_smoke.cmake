@@ -18,8 +18,12 @@ set(PROBE_sweep "sweep;florida;128")
 # 40-site CDN region: big enough that the single cell passes the engine's
 # scale gate and really dispatches its epoch sections onto the shard pool.
 set(PROBE_single "sweep;cdn_us;96;--single")
+# Streaming serving mode: event-driven replay with windowed telemetry and an
+# EMA re-optimization trigger; --export=- puts the per-window CSV rows into
+# the diffed output, so window aggregation is under the gate too.
+set(PROBE_serve "serve;cdn_us;--replay;--epochs=96;--window-epochs=8;--ema-reopt=load:2500:2000;--export=-")
 
-foreach(probe sweep single)
+foreach(probe sweep single serve)
   foreach(threads 1 4)
     execute_process(
       # -E env: the worker budget under test reaches the probe process only.

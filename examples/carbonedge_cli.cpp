@@ -13,6 +13,20 @@
 //                                               CARBONEDGE_THREADS)
 //   carbonedge_cli export-traces <region> <file.csv>
 //                                               dump synthetic traces as CSV
+//   carbonedge_cli serve <region> --replay|--stdin [--epochs=N]
+//       [--window-epochs=N] [--policy=<p>] [--queue-capacity=N]
+//       [--ooo=drop|clamp] [--ema-alpha=A] [--ema-reopt=<sig>:<fire>:<rearm>]
+//       [--export=<file|->]
+//                                               streaming serving mode: ingest
+//                                               an event stream (trace replay
+//                                               or CSV on stdin), aggregate
+//                                               windowed telemetry, and — when
+//                                               --ema-reopt is given — fire
+//                                               event-driven re-optimization
+//                                               on EMA threshold crossings.
+//                                               The summary prints no timings
+//                                               (the determinism gate diffs a
+//                                               serve replay too).
 //   carbonedge_cli store warm [region...]       pre-synthesize traces into the
 //                                               persistent artifact store
 //   carbonedge_cli store ls | verify | gc       inspect / checksum / clean it
@@ -23,6 +37,7 @@
 // Regions: florida, west_us, italy, central_eu, cdn_us, cdn_eu.
 // Policies: latency, energy, intensity, carbonedge, alpha=<0..1>.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -33,6 +48,7 @@
 #include "carbon/trace_io.hpp"
 #include "core/simulation.hpp"
 #include "runner/scenario_runner.hpp"
+#include "serve/event_loop.hpp"
 #include "store/artifact_store.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +60,12 @@ int usage() {
   std::cerr << "usage: carbonedge_cli zones | analyze <region> | radius <km> |\n"
                "       simulate <region> <policy> <epochs> | sweep <region> <epochs> "
                "[--single] |\n"
+               "       serve <region> --replay|--stdin [--epochs=<n>] "
+               "[--window-epochs=<n>]\n"
+               "           [--policy=<p>] [--queue-capacity=<n>] [--ooo=drop|clamp]\n"
+               "           [--ema-alpha=<a>] [--ema-reopt=<intensity|response|load>:"
+               "<fire>:<rearm>]\n"
+               "           [--export=<file|->] |\n"
                "       export-traces <region> <file> |\n"
                "       store [--dir <path>] warm [region...] | ls | verify | gc "
                "[--max-bytes=<n>]\n"
@@ -189,6 +211,178 @@ int cmd_simulate(const std::string& region_name, const std::string& policy_name,
   return 0;
 }
 
+// ----------------------------------------------------------------- serve --
+
+double parse_flag_double(const std::string& arg, std::size_t prefix) {
+  std::size_t used = 0;
+  const std::string value = arg.substr(prefix);
+  const double parsed = std::stod(value, &used);
+  if (used != value.size()) throw std::invalid_argument("bad number in " + arg);
+  return parsed;
+}
+
+std::uint64_t parse_flag_unsigned(const std::string& arg, std::size_t prefix) {
+  const std::string value = arg.substr(prefix);
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("bad count in " + arg);
+  }
+  return std::stoull(value);
+}
+
+// `--ema-reopt=<signal>:<fire>:<rearm>`, repeatable (one per signal).
+void parse_ema_reopt(const std::string& arg, serve::EmaReoptConfig& ema) {
+  const std::string value = arg.substr(12);
+  const std::size_t first = value.find(':');
+  const std::size_t second = first == std::string::npos ? first : value.find(':', first + 1);
+  if (second == std::string::npos) {
+    throw std::invalid_argument("expected --ema-reopt=<signal>:<fire>:<rearm>, got " + arg);
+  }
+  const std::string signal = value.substr(0, first);
+  serve::EmaTrigger trigger;
+  trigger.enabled = true;
+  trigger.fire = std::stod(value.substr(first + 1, second - first - 1));
+  trigger.rearm = std::stod(value.substr(second + 1));
+  if (signal == "intensity") {
+    ema.intensity = trigger;
+  } else if (signal == "response") {
+    ema.response_ms = trigger;
+  } else if (signal == "load") {
+    ema.load_rps = trigger;
+  } else {
+    throw std::invalid_argument("unknown --ema-reopt signal: " + signal);
+  }
+  ema.enabled = true;
+}
+
+int cmd_serve(std::vector<std::string> args) {
+  const std::string region_name = args.front();
+  args.erase(args.begin());
+
+  bool replay = false;
+  bool from_stdin = false;
+  std::uint32_t epochs = 168;
+  std::string policy_name = "carbonedge";
+  std::string export_path;
+  serve::ServeConfig serve_config;
+  serve_config.window_epochs = 8;
+  for (const std::string& arg : args) {
+    if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--stdin") {
+      from_stdin = true;
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      epochs = static_cast<std::uint32_t>(parse_flag_unsigned(arg, 9));
+    } else if (arg.rfind("--window-epochs=", 0) == 0) {
+      serve_config.window_epochs = static_cast<std::uint32_t>(parse_flag_unsigned(arg, 16));
+    } else if (arg.rfind("--queue-capacity=", 0) == 0) {
+      serve_config.queue_capacity = parse_flag_unsigned(arg, 17);
+    } else if (arg == "--ooo=drop") {
+      serve_config.out_of_order = serve::OutOfOrderPolicy::kDrop;
+    } else if (arg == "--ooo=clamp") {
+      serve_config.out_of_order = serve::OutOfOrderPolicy::kClamp;
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy_name = arg.substr(9);
+    } else if (arg.rfind("--ema-alpha=", 0) == 0) {
+      serve_config.ema_reopt.alpha = parse_flag_double(arg, 12);
+    } else if (arg.rfind("--ema-reopt=", 0) == 0) {
+      parse_ema_reopt(arg, serve_config.ema_reopt);
+    } else if (arg.rfind("--export=", 0) == 0) {
+      export_path = arg.substr(9);
+    } else {
+      std::cerr << "error: unknown serve argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (replay == from_stdin) {
+    std::cerr << "error: serve needs exactly one of --replay / --stdin\n";
+    return 2;
+  }
+
+  // The sweep scenario's engine knobs (deferral, cost-aware re-optimization,
+  // failure injection), so a replay exercises the full epoch body. With
+  // --ema-reopt the trigger replaces the fixed cadence.
+  core::SimulationConfig config;
+  config.policy = policy_by_name(policy_name);
+  config.epochs = epochs;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.mean_lifetime_epochs = 12.0;
+  config.workload.max_defer_epochs = 6;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.seed = 1234;
+  config.reoptimize_every = 16;
+  config.migration.cost_aware = true;
+  config.failures.mtbf_epochs = 300.0;
+  serve_config.sim = config;
+
+  const geo::Region region = region_by_name(region_name);
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+
+  std::unique_ptr<serve::EventSource> source;
+  serve::CsvEventSource* csv_source = nullptr;
+  if (replay) {
+    source = std::make_unique<serve::TraceReplaySource>(
+        config.workload, simulation.pristine_cluster(), config.epochs, config.epoch_hours);
+  } else {
+    auto csv = std::make_unique<serve::CsvEventSource>(
+        std::cin, serve::CsvEventSource::ErrorPolicy::kSkip);
+    csv_source = csv.get();
+    source = std::move(csv);
+  }
+
+  std::ofstream export_file;
+  std::unique_ptr<serve::OstreamSink> sink;
+  std::unique_ptr<serve::WindowCsvExporter> exporter;
+  if (!export_path.empty()) {
+    if (export_path == "-") {
+      sink = std::make_unique<serve::OstreamSink>(std::cout);
+    } else {
+      export_file.open(export_path);
+      if (!export_file) {
+        std::cerr << "error: cannot open " << export_path << "\n";
+        return 1;
+      }
+      sink = std::make_unique<serve::OstreamSink>(export_file);
+    }
+    exporter = std::make_unique<serve::WindowCsvExporter>(*sink);
+  }
+
+  serve::EventLoop loop(simulation, serve_config);
+  const serve::ServeResult result = loop.run(*source, exporter.get());
+
+  // No timings in this summary: the CI determinism gate diffs serve output
+  // across CARBONEDGE_THREADS values, byte for byte.
+  const auto& sim_result = result.sim;
+  std::cout << "serve " << region.name << ": " << epochs << " epochs in "
+            << result.windows.size() << " windows of " << serve_config.window_epochs << "\n"
+            << "  ingest: " << result.ingest.accepted << " events accepted, "
+            << result.ingest.dropped_overflow << " overflow-dropped, "
+            << result.ingest.dropped_stale << " stale-dropped, "
+            << result.ingest.clamped_stale << " clamped\n";
+  if (csv_source != nullptr && csv_source->rejected_lines() > 0) {
+    std::cout << "  rejected lines: " << csv_source->rejected_lines() << " (last: "
+              << csv_source->last_error() << ")\n";
+  }
+  std::cout << "  placed/rejected/expired: " << sim_result.apps_placed << "/"
+            << sim_result.apps_rejected << "/" << sim_result.apps_expired_deferred << "\n"
+            << "  migrations: " << sim_result.migrations << " ("
+            << sim_result.migrations_skipped << " skipped), reopt fires: "
+            << result.reopt_fires << "\n"
+            << "  failures: " << sim_result.server_failures << ", downtime epochs: "
+            << sim_result.app_downtime_epochs << "\n"
+            << "  carbon: " << util::format_fixed(sim_result.telemetry.total_carbon_g(), 1)
+            << " g, energy: " << util::format_fixed(sim_result.telemetry.total_energy_wh(), 1)
+            << " Wh, mean RTT: " << util::format_fixed(sim_result.telemetry.mean_rtt_ms(), 2)
+            << " ms\n";
+  if (exporter != nullptr) {
+    std::cout << "  export: " << result.exports.lines_written << " lines written, "
+              << result.exports.lines_dropped << " dropped\n";
+  }
+  return 0;
+}
+
 int cmd_export(const std::string& region_name, const std::string& path) {
   const geo::Region region = region_by_name(region_name);
   const auto& catalog = carbon::ZoneCatalog::builtin();
@@ -328,6 +522,9 @@ int main(int argc, char** argv) {
         single = true;
       }
       return cmd_sweep(argv[2], static_cast<std::uint32_t>(std::stoul(argv[3])), single);
+    }
+    if (command == "serve" && argc >= 3) {
+      return cmd_serve(std::vector<std::string>(argv + 2, argv + argc));
     }
     if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (command == "store" && argc >= 3) return cmd_store(argc, argv);

@@ -3,13 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <map>
-#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "carbon/caltime.hpp"
-#include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
 namespace carbonedge::core {
@@ -24,7 +21,532 @@ namespace {
 /// bytes either way; this is purely a dispatch-overhead gate).
 constexpr std::size_t kMinItemsPerShard = 32;
 
+/// Displaced-app sentinel: crash victims whose redeployment is not a
+/// data-movement migration.
+constexpr std::size_t kNoAccountedSite = static_cast<std::size_t>(-1);
+
 }  // namespace
+
+SimulationEngine::SimulationEngine(sim::EdgeCluster cluster,
+                                   const carbon::CarbonIntensityService& carbon,
+                                   const geo::LatencyMatrix& latency,
+                                   const SimulationConfig& config,
+                                   util::ParallelismBudget* budget, std::size_t lane_cap)
+    : config_(config),
+      cluster_(std::move(cluster)),
+      carbon_(&carbon),
+      latency_(&latency),
+      service_(config.policy, config.solver_options),
+      power_manager_(config.power),
+      failure_rng_(config.failures.seed),
+      failure_draws_(cluster_.size()) {
+  // Intra-run parallelism: lease worker lanes from the budget for the whole
+  // run and spin up a private shard pool when more than one was granted.
+  // Workers only ever execute pure per-item computations into disjoint
+  // slots; the stepping thread does every RNG draw, every reduction, and
+  // every state mutation, which is what keeps the result byte-identical
+  // for every lane count (see the class comment).
+  //
+  // Scale gate first: a run whose epoch sections can never reach the
+  // dispatch threshold skips the lease and pool outright, so small cells
+  // (most test scenarios, the narrow cells of a wide sweep) stay
+  // zero-overhead serial and leave their lanes to concurrent cells. The
+  // predicate reads only the config and cluster — never thread counts —
+  // so the execution shape is deterministic.
+  const double apps_per_site =
+      static_cast<double>(config_.workload.initial_per_site) +
+      config_.workload.arrivals_per_site * std::max(1.0, config_.workload.mean_lifetime_epochs);
+  const double steady_state_apps = apps_per_site * static_cast<double>(cluster_.size());
+  const bool may_shard = cluster_.size() >= 2 * kMinItemsPerShard ||
+                         steady_state_apps >= static_cast<double>(2 * kMinItemsPerShard);
+  util::ParallelismBudget& arbiter = budget != nullptr ? *budget : util::global_budget();
+  if (may_shard) {
+    const std::size_t want_lanes =
+        lane_cap > 0 ? std::min(lane_cap, arbiter.total()) : arbiter.total();
+    lease_ = arbiter.acquire(want_lanes);
+  }
+  lanes_ = lease_.lanes();
+  if (lanes_ > 1) shard_pool_ = std::make_unique<util::ThreadPool>(lanes_);
+
+  // Lend the run's shard pool to the placement solver: component dispatch
+  // reuses lanes this simulation already leased (they idle during the
+  // solve phase) instead of drawing the budget down further every epoch.
+  solver::AssignmentOptions solver_options = config_.solver_options;
+  if (shard_pool_ != nullptr && solver_options.shard_threads == 0 &&
+      solver_options.shard_pool == nullptr) {
+    solver_options.shard_pool = shard_pool_.get();
+  }
+  // Forward the (possibly injected) budget so a serial-capped run keeps
+  // the solver's default dispatch serial too, instead of it leasing from
+  // the process-global budget behind the injection's back.
+  if (solver_options.budget == nullptr) solver_options.budget = &arbiter;
+  service_ = PlacementService(config_.policy, solver_options);
+}
+
+SimulationEngine::~SimulationEngine() = default;
+
+carbon::HourIndex SimulationEngine::hour_of(std::uint32_t epoch) const noexcept {
+  return static_cast<carbon::HourIndex>(
+      config_.start_hour + static_cast<carbon::HourIndex>(std::floor(
+                               static_cast<double>(epoch) * config_.epoch_hours)));
+}
+
+template <typename Body>
+void SimulationEngine::parallel_items(std::size_t count, const Body& body) {
+  // Run body(k) for k in [0, count), sharded across the leased lanes when
+  // the item count can amortize the dispatch. body(k) must write only to
+  // its own slot k. Generic so the (common) inline path pays no
+  // std::function indirection.
+  if (shard_pool_ == nullptr || count < 2 * kMinItemsPerShard) {
+    for (std::size_t k = 0; k < count; ++k) body(k);
+    return;
+  }
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(lanes_, count / kMinItemsPerShard));
+  util::parallel_for(*shard_pool_, 0, count, body, (count + shards - 1) / shards);
+}
+
+sim::EdgeServer& SimulationEngine::find_server(std::size_t site, std::uint32_t server_id) {
+  for (sim::EdgeServer& server : cluster_.sites()[site].servers()) {
+    if (server.id() == server_id) return server;
+  }
+  throw std::logic_error("hosted app references unknown server");
+}
+
+void SimulationEngine::snapshot_hosted() {
+  hosted_snapshot_.clear();
+  hosted_snapshot_.reserve(hosted_.size());
+  for (const auto& [id, entry] : hosted_) hosted_snapshot_.emplace_back(id, &entry);
+}
+
+void SimulationEngine::crash_server(std::size_t site, sim::EdgeServer& server,
+                                    std::uint32_t epoch, std::vector<sim::Application>& batch,
+                                    std::uint32_t& epoch_failures) {
+  // Re-batch the apps that were on the crashed server. Marking them
+  // displaced keeps them alive (retried, never counted as fresh
+  // rejections) if the shrunken cluster cannot re-place them at once.
+  for (auto it = hosted_.begin(); it != hosted_.end();) {
+    if (it->second.site == site && it->second.server == server.id()) {
+      displaced_from_.insert_or_assign(it->first, kNoAccountedSite);
+      batch.push_back(it->second.app);
+      ++result_.apps_redeployed;
+      it = hosted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  server.set_failed(true);
+  under_repair_[{site, server.id()}] = epoch + config_.failures.repair_epochs;
+  ++result_.server_failures;
+  ++epoch_failures;
+}
+
+void SimulationEngine::step(std::vector<sim::Application> arrivals,
+                            const StepOptions& options) {
+  if (finished_) throw std::logic_error("SimulationEngine::step after finish()");
+  if (epoch_ >= config_.epochs) {
+    throw std::logic_error("SimulationEngine::step beyond configured horizon");
+  }
+  const std::uint32_t epoch = epoch_;
+  const carbon::HourIndex hour = hour_of(epoch);
+
+  // Expected per-epoch operational carbon of `app` on `server` at `hour`.
+  const auto carbon_rate_g = [&](const sim::Application& app, const sim::EdgeServer& server,
+                                 const std::string& zone) {
+    const sim::ProfileResult prof = sim::profile_of(app.model, server.device());
+    if (!prof.supported) return -1.0;
+    const double energy_wh = prof.profile.energy_j * app.rps * config_.epoch_hours;
+    return energy_wh / 1000.0 *
+           carbon_->mean_forecast(zone, hour, config_.forecast_horizon_hours);
+  };
+
+  // Migration data-movement cost of moving `app` out of `zone` at `hour`.
+  const auto migration_cost = [&](const sim::Application& app, const std::string& zone) {
+    const double energy_wh =
+        app.state_size_mb / 1024.0 * config_.migration.network_energy_wh_per_gb;
+    const double carbon_g =
+        energy_wh / 1000.0 *
+        carbon_->mean_forecast(zone, hour, config_.forecast_horizon_hours);
+    return std::pair{energy_wh, carbon_g};
+  };
+
+  std::uint32_t epoch_failures = 0;
+  std::uint32_t epoch_migrations = 0;
+  double epoch_migration_energy = 0.0;
+  double epoch_migration_carbon = 0.0;
+  std::vector<sim::Application> batch;
+
+  // 1. Repairs, then injected failures, then fresh drawn failures.
+  for (auto it = under_repair_.begin(); it != under_repair_.end();) {
+    if (epoch >= it->second) {
+      sim::EdgeServer& server = find_server(it->first.first, it->first.second);
+      server.set_failed(false);
+      server.set_powered_on(true);
+      it = under_repair_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Event-stream crashes first, in stream order: a server the feed reports
+  // dead must not also consume a Bernoulli draw below (it is no longer
+  // eligible), and with an empty span this block is a no-op — the drawn
+  // failure stream is untouched, which the replay oracle relies on.
+  for (const ServerFailureEvent& event : options.failures) {
+    if (event.site >= cluster_.size()) {
+      throw std::invalid_argument("failure event: site out of range");
+    }
+    sim::EdgeServer& server = find_server(event.site, event.server_id);
+    if (server.failed()) continue;  // already down: repair timer keeps running
+    crash_server(event.site, server, epoch, batch, epoch_failures);
+  }
+  if (config_.failures.mtbf_epochs > 0.0) {
+    const double fail_p = 1.0 / config_.failures.mtbf_epochs;
+    // Pre-draw the epoch's failure streams into per-site buffers, one
+    // Bernoulli per eligible (powered-on, healthy) server in site/server
+    // order — exactly the serial engine's consumption. Materializing the
+    // draws up front decouples them from however the sharded sections
+    // interleave later: draw order can never depend on thread count.
+    // Eligibility is stable across this pass (marking one server failed
+    // never changes another's power or failure state), so the application
+    // loop below replays the same predicate to index the stream.
+    for (std::size_t site = 0; site < cluster_.size(); ++site) {
+      std::vector<std::uint8_t>& draws = failure_draws_[site];
+      draws.clear();
+      for (const sim::EdgeServer& server : cluster_.sites()[site].servers()) {
+        if (!server.powered_on() || server.failed()) continue;
+        draws.push_back(failure_rng_.bernoulli(fail_p) ? 1 : 0);
+      }
+    }
+    for (std::size_t site = 0; site < cluster_.size(); ++site) {
+      std::size_t draw_index = 0;
+      for (sim::EdgeServer& server : cluster_.sites()[site].servers()) {
+        if (!server.powered_on() || server.failed()) continue;
+        if (draw_index >= failure_draws_[site].size()) {
+          // The eligibility predicate diverged between the draw pass and
+          // this replay (a failure side effect must have changed another
+          // server's power/failure state) — that desynchronizes the
+          // stream, so fail loudly rather than consume wrong draws.
+          throw std::logic_error("failure stream desynchronized from eligibility replay");
+        }
+        if (!failure_draws_[site][draw_index++]) continue;
+        crash_server(site, server, epoch, batch, epoch_failures);
+      }
+    }
+  }
+
+  // 2. Departures. Guarded decrement: an application admitted with
+  // remaining_epochs == 0 departs immediately instead of underflowing to
+  // ~4B epochs and becoming immortal.
+  for (auto it = hosted_.begin(); it != hosted_.end();) {
+    if (it->second.app.remaining_epochs <= 1) {
+      find_server(it->second.site, it->second.server).evict(it->first);
+      it = hosted_.erase(it);
+    } else {
+      --it->second.app.remaining_epochs;
+      ++it;
+    }
+  }
+
+  // 3. Arrivals — immediately placeable or deferred (temporal shifting,
+  //    paper Section 2.2) — plus periodic re-optimization of live apps.
+  for (sim::Application& app : arrivals) {
+    if (app.max_defer_epochs > 0) {
+      ++result_.apps_deferred;
+      deferred_.push_back(std::move(app));
+    } else {
+      batch.push_back(std::move(app));
+    }
+  }
+  // Release deferred applications at low-intensity hours: start when the
+  // origin zone's current intensity is no worse than anything the
+  // remaining defer budget could buy (the "wait awhile" heuristic), or
+  // when the budget runs out. The per-app forecast scans are the epoch's
+  // heaviest pure reads (a window of forecaster evaluations each), so
+  // they shard across lanes into per-app slots; the queue itself is then
+  // updated serially in queue order.
+  defer_start_.assign(deferred_.size(), 0);
+  parallel_items(deferred_.size(), [&](std::size_t k) {
+    const sim::Application& app = deferred_[k];
+    bool start = app.max_defer_epochs == 0;
+    if (!start) {
+      const std::string& zone = cluster_.sites()[app.origin_site].zone();
+      const double now_ci = carbon_->intensity(zone, hour);
+      const auto window = static_cast<std::uint32_t>(
+          std::ceil(static_cast<double>(app.max_defer_epochs) * config_.epoch_hours));
+      double future_min = now_ci;
+      for (const double v : carbon_->forecast(zone, hour + 1, window)) {
+        future_min = std::min(future_min, v);
+      }
+      start = now_ci <= future_min * 1.02;
+    }
+    defer_start_[k] = start ? 1 : 0;
+  });
+  {
+    // Starters join the batch, the rest spend one epoch of budget; the
+    // stable in-place compaction preserves the old erase-as-you-go order.
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < deferred_.size(); ++k) {
+      if (defer_start_[k]) {
+        batch.push_back(std::move(deferred_[k]));
+      } else {
+        --deferred_[k].max_defer_epochs;
+        if (keep != k) deferred_[keep] = std::move(deferred_[k]);
+        ++keep;
+      }
+    }
+    deferred_.resize(keep);
+  }
+  // Re-optimization cadence: an explicit per-step override (the serving
+  // mode's event-driven trigger), calendar-month boundaries (the epoch
+  // whose hour enters a new month), or a fixed epoch period.
+  bool migrate = false;
+  if (epoch != 0) {
+    if (options.migrate.has_value()) {
+      migrate = *options.migrate;
+    } else if (config_.reoptimize_monthly) {
+      migrate = carbon::month_of_hour(hour) != carbon::month_of_hour(hour_of(epoch - 1));
+    } else {
+      migrate = config_.reoptimize_every != 0 && epoch % config_.reoptimize_every == 0;
+    }
+  }
+  // Where each re-optimization candidate was hosted before being evicted
+  // into the batch — for data-movement accounting on moves, and to restore
+  // the app if the solver rejects it.
+  struct PreviousPlacement {
+    std::size_t site = 0;
+    std::uint32_t server = 0;
+  };
+  std::unordered_map<sim::AppId, PreviousPlacement> previous_placement;
+  if (migrate) {
+    std::vector<sim::AppId> to_move;
+    snapshot_hosted();
+    if (config_.migration.cost_aware) {
+      // Veto moves whose projected benefit cannot repay the transfer.
+      // Each app's veto scans every feasible server — the quadratic bulk
+      // of a re-optimization epoch — so the scans shard across lanes;
+      // the verdicts are then folded in snapshot order, preserving the
+      // serial engine's to_move order (and thus the solver's input).
+      migration_veto_.assign(hosted_snapshot_.size(), 0);
+      parallel_items(hosted_snapshot_.size(), [&](std::size_t k) {
+        const HostedApp& entry = *hosted_snapshot_[k].second;
+        const sim::EdgeServer& current = find_server(entry.site, entry.server);
+        const std::string& zone = cluster_.sites()[entry.site].zone();
+        const double current_rate = carbon_rate_g(entry.app, current, zone);
+        double best_rate = current_rate;
+        for (std::size_t site = 0; site < cluster_.size(); ++site) {
+          const double rtt = 2.0 * latency_->one_way_ms(entry.app.origin_site, site);
+          if (rtt > entry.app.latency_limit_rtt_ms + 1e-9) continue;
+          for (const sim::EdgeServer& server : cluster_.sites()[site].servers()) {
+            if (!server.can_host(entry.app.model, entry.app.rps)) continue;
+            const double rate =
+                carbon_rate_g(entry.app, server, cluster_.sites()[site].zone());
+            if (rate >= 0.0) best_rate = std::min(best_rate, rate);
+          }
+        }
+        const double lifetime = std::min<double>(config_.migration.benefit_horizon_epochs,
+                                                 entry.app.remaining_epochs);
+        const double benefit = (current_rate - best_rate) * lifetime;
+        const auto [move_energy, move_carbon] = migration_cost(entry.app, zone);
+        migration_veto_[k] = benefit < move_carbon * config_.migration.hysteresis ? 1 : 0;
+      });
+      for (std::size_t k = 0; k < hosted_snapshot_.size(); ++k) {
+        if (migration_veto_[k]) {
+          ++result_.migrations_skipped;
+        } else {
+          to_move.push_back(hosted_snapshot_[k].first);
+        }
+      }
+    } else {
+      for (const auto& [id, entry] : hosted_snapshot_) to_move.push_back(id);
+    }
+    for (const sim::AppId id : to_move) {
+      auto& entry = hosted_.at(id);
+      find_server(entry.site, entry.server).evict(id);
+      previous_placement.emplace(id, PreviousPlacement{entry.site, entry.server});
+      batch.push_back(entry.app);
+      hosted_.erase(id);
+    }
+  }
+
+  // 4. Placement (Algorithm 1) + deployment.
+  PlacementInput input;
+  input.cluster = &cluster_;
+  input.latency = latency_;
+  input.carbon = carbon_;
+  input.now = hour;
+  input.forecast_horizon_hours = config_.forecast_horizon_hours;
+  input.epoch_hours = config_.epoch_hours;
+  const PlacementResult placement = service_.place(input, batch);
+  result_.total_solve_ms += placement.solve_time_ms;
+  orchestrator_.deploy(placement);
+
+  std::unordered_map<sim::AppId, const sim::Application*> by_id;
+  by_id.reserve(batch.size());
+  for (const sim::Application& app : batch) by_id.emplace(app.id, &app);
+  // Charge the data movement of an app that left `from_site` this epoch.
+  const auto account_move = [&](const sim::Application& app, std::size_t from_site) {
+    const auto [move_energy, move_carbon] =
+        migration_cost(app, cluster_.sites()[from_site].zone());
+    epoch_migration_energy += move_energy;
+    epoch_migration_carbon += move_carbon;
+    ++epoch_migrations;
+    ++result_.migrations;
+  };
+  for (const PlacementDecision& decision : placement.decisions) {
+    hosted_.emplace(decision.app,
+                    HostedApp{*by_id.at(decision.app), decision.site, decision.server});
+    // Account data movement for re-optimized (or earlier-displaced) apps
+    // that changed site.
+    const auto prev = previous_placement.find(decision.app);
+    const auto limbo = displaced_from_.find(decision.app);
+    if (prev != previous_placement.end()) {
+      if (prev->second.site != decision.site) {
+        account_move(*by_id.at(decision.app), prev->second.site);
+      }
+    } else if (limbo != displaced_from_.end()) {
+      if (limbo->second != kNoAccountedSite && limbo->second != decision.site) {
+        account_move(*by_id.at(decision.app), limbo->second);
+      }
+      displaced_from_.erase(limbo);
+    }
+  }
+
+  // A live application must never be lost to a re-optimization attempt:
+  // if the solver rejected an evicted migrant (e.g. capacity shrank after
+  // a failure), put it back on its previous server — the evict freed that
+  // capacity, so it is normally reclaimable — and count the non-move as a
+  // skipped migration, not a rejection. Only fresh arrivals can be
+  // genuinely rejected.
+  std::uint32_t fresh_rejected = 0;
+  for (const sim::AppId id : placement.rejected) {
+    const auto prev = previous_placement.find(id);
+    const auto limbo = displaced_from_.find(id);
+    if (prev == previous_placement.end() && limbo == displaced_from_.end()) {
+      ++fresh_rejected;
+      continue;
+    }
+    const sim::Application& app = *by_id.at(id);
+    const std::size_t home_site =
+        prev != previous_placement.end() ? prev->second.site : limbo->second;
+    sim::EdgeServer* target = nullptr;
+    std::size_t target_site = home_site;
+    if (prev != previous_placement.end()) {
+      sim::EdgeServer& old_server = find_server(prev->second.site, prev->second.server);
+      if (old_server.powered_on() && old_server.can_host(app.model, app.rps)) {
+        target = &old_server;
+      }
+    }
+    if (target == nullptr) {
+      // The slot is gone (taken by a competing batch member, or the app
+      // has been in limbo since an earlier epoch); fall back to the first
+      // powered-on latency-feasible server with headroom. can_host() does
+      // not cover power state, and activating a cold server here would
+      // bypass the optimizer's Eq. 5 activation decision, so off servers
+      // are skipped.
+      for (std::size_t site = 0; site < cluster_.size() && target == nullptr; ++site) {
+        if (2.0 * latency_->one_way_ms(app.origin_site, site) >
+            app.latency_limit_rtt_ms + 1e-9) {
+          continue;
+        }
+        for (sim::EdgeServer& server : cluster_.sites()[site].servers()) {
+          if (server.powered_on() && server.can_host(app.model, app.rps)) {
+            target = &server;
+            target_site = site;
+            break;
+          }
+        }
+      }
+    }
+    if (prev != previous_placement.end() &&
+        (target == nullptr || target_site == home_site)) {
+      // The optimizer's intended migration did not happen and the app
+      // stayed (or parked) at home; landing on another site is instead a
+      // real move, charged below.
+      ++result_.migrations_skipped;
+    }
+    if (target != nullptr) {
+      target->host(sim::AppInstance{id, app.model, app.rps});
+      hosted_.emplace(id, HostedApp{app, target_site, target->id()});
+      // Landing away from the app's previous site is a real (forced)
+      // move and pays the transfer emissions like any other migration —
+      // except for crash victims, whose old server is gone.
+      if (home_site != kNoAccountedSite && target_site != home_site) {
+        account_move(app, home_site);
+      }
+      if (limbo != displaced_from_.end()) displaced_from_.erase(limbo);
+    } else {
+      // No capacity anywhere this epoch (another app took the freed slot
+      // and the cluster is saturated): keep the app alive and retry at the
+      // next epoch via the deferral queue rather than dropping it. The
+      // epoch it sits out is real downtime for a live app — account it.
+      displaced_from_.insert_or_assign(id, home_site);
+      ++result_.app_downtime_epochs;
+      sim::Application retry = app;
+      retry.max_defer_epochs = 0;
+      deferred_.push_back(std::move(retry));
+    }
+  }
+  result_.apps_placed += placement.decisions.size();
+  result_.apps_rejected += fresh_rejected;
+  result_.migration_energy_wh += epoch_migration_energy;
+  result_.migration_carbon_g += epoch_migration_carbon;
+
+  // 5. Accounting.
+  sim::EpochRecord record;
+  record.epoch = epoch;
+  record.apps_placed = static_cast<std::uint32_t>(placement.decisions.size());
+  record.apps_rejected = fresh_rejected;
+  record.migration_energy_wh = epoch_migration_energy;
+  record.migration_carbon_g = epoch_migration_carbon;
+  record.migrations = epoch_migrations;
+  record.failures = epoch_failures;
+  // Per-site records are pure functions of (site, zone intensity) into
+  // disjoint slots; per-app latency samples are computed shard-parallel
+  // into per-app slots and folded into the epoch sums and the response
+  // histogram in snapshot order — the same floating-point order as the
+  // serial engine, for every lane count.
+  record.sites.resize(cluster_.size());
+  parallel_items(cluster_.size(), [&](std::size_t s) {
+    const sim::EdgeDataCenter& site = cluster_.sites()[s];
+    record.sites[s] = sim::make_site_epoch_record(site, carbon_->intensity(site.zone(), hour),
+                                                  config_.epoch_hours,
+                                                  config_.account_base_power);
+  });
+  snapshot_hosted();
+  app_samples_.resize(hosted_snapshot_.size());
+  parallel_items(hosted_snapshot_.size(), [&](std::size_t k) {
+    const HostedApp& entry = *hosted_snapshot_[k].second;
+    const double rtt = 2.0 * latency_->one_way_ms(entry.app.origin_site, entry.site);
+    const sim::EdgeServer& server = find_server(entry.site, entry.server);
+    app_samples_[k] = sim::AppEpochSample{rtt, rtt + server.mean_service_ms(entry.app.model),
+                                          entry.app.rps};
+  });
+  result_.telemetry.fold_app_samples(record, app_samples_);
+  result_.telemetry.record(std::move(record));
+
+  // 6. Power management between epochs.
+  power_manager_.sweep(cluster_);
+
+  epoch_ = epoch + 1;
+}
+
+SimulationResult SimulationEngine::finish() {
+  if (finished_) throw std::logic_error("SimulationEngine::finish called twice");
+  finished_ = true;
+
+  // Deferred applications whose start never came before the horizon ran out
+  // are accounted explicitly so placed + rejected + expired reconcile.
+  // Displaced retries parked in the same queue were already counted in
+  // apps_placed at admission, so they are excluded.
+  for (const sim::Application& app : deferred_) {
+    if (!displaced_from_.contains(app.id)) ++result_.apps_expired_deferred;
+  }
+
+  result_.mean_solve_ms =
+      config_.epochs > 0 ? result_.total_solve_ms / static_cast<double>(config_.epochs) : 0.0;
+  result_.mean_deploy_ms = orchestrator_.mean_deploy_ms();
+  return std::move(result_);
+}
 
 EdgeSimulation::EdgeSimulation(sim::EdgeCluster cluster,
                                const carbon::CarbonIntensityService& carbon,
@@ -40,508 +562,14 @@ EdgeSimulation::EdgeSimulation(sim::EdgeCluster cluster,
 }
 
 SimulationResult EdgeSimulation::run(const SimulationConfig& config) {
-  sim::EdgeCluster cluster = pristine_;  // fresh state per run
-
-  // Intra-run parallelism: lease worker lanes from the budget for the whole
-  // run and spin up a private shard pool when more than one was granted.
-  // Workers only ever execute pure per-item computations into disjoint
-  // slots; the coordinating thread does every RNG draw, every reduction,
-  // and every state mutation, which is what keeps the result byte-identical
-  // for every lane count (see the class comment).
-  //
-  // Scale gate first: a run whose epoch sections can never reach the
-  // dispatch threshold skips the lease and pool outright, so small cells
-  // (most test scenarios, the narrow cells of a wide sweep) stay
-  // zero-overhead serial and leave their lanes to concurrent cells. The
-  // predicate reads only the config and cluster — never thread counts —
-  // so the execution shape is deterministic.
-  const double apps_per_site =
-      static_cast<double>(config.workload.initial_per_site) +
-      config.workload.arrivals_per_site * std::max(1.0, config.workload.mean_lifetime_epochs);
-  const double steady_state_apps = apps_per_site * static_cast<double>(cluster.size());
-  const bool may_shard = cluster.size() >= 2 * kMinItemsPerShard ||
-                         steady_state_apps >= static_cast<double>(2 * kMinItemsPerShard);
-  util::ParallelismBudget& budget = budget_ != nullptr ? *budget_ : util::global_budget();
-  util::ParallelismBudget::Lease lease;  // default: one lane, nothing held
-  if (may_shard) {
-    const std::size_t want_lanes =
-        lane_cap_ > 0 ? std::min(lane_cap_, budget.total()) : budget.total();
-    lease = budget.acquire(want_lanes);
-  }
-  const std::size_t lanes = lease.lanes();
-  std::unique_ptr<util::ThreadPool> shard_pool;
-  if (lanes > 1) shard_pool = std::make_unique<util::ThreadPool>(lanes);
-
-  // Run body(k) for k in [0, count), sharded across the leased lanes when
-  // the item count can amortize the dispatch. body(k) must write only to
-  // its own slot k. Generic so the (common) inline path pays no
-  // std::function indirection.
-  const auto parallel_items = [&](std::size_t count, const auto& body) {
-    if (shard_pool == nullptr || count < 2 * kMinItemsPerShard) {
-      for (std::size_t k = 0; k < count; ++k) body(k);
-      return;
-    }
-    const std::size_t shards = std::max<std::size_t>(
-        1, std::min(lanes, count / kMinItemsPerShard));
-    util::parallel_for(*shard_pool, 0, count, body, (count + shards - 1) / shards);
-  };
-
-  sim::WorkloadGenerator generator(config.workload, cluster);
-  // Lend the run's shard pool to the placement solver: component dispatch
-  // reuses lanes this simulation already leased (they idle during the
-  // solve phase) instead of drawing the budget down further every epoch.
-  solver::AssignmentOptions solver_options = config.solver_options;
-  if (shard_pool != nullptr && solver_options.shard_threads == 0 &&
-      solver_options.shard_pool == nullptr) {
-    solver_options.shard_pool = shard_pool.get();
-  }
-  // Forward the (possibly injected) budget so a serial-capped run keeps
-  // the solver's default dispatch serial too, instead of it leasing from
-  // the process-global budget behind the injection's back.
-  if (solver_options.budget == nullptr) solver_options.budget = &budget;
-  PlacementService service(config.policy, solver_options);
-  PowerManager power_manager(config.power);
-  Orchestrator orchestrator;
-  util::Rng failure_rng(config.failures.seed);
-
-  SimulationResult result;
-  std::unordered_map<sim::AppId, HostedApp> hosted;
-  // (site, server id) -> epoch at which the server comes back.
-  std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> under_repair;
-  // Temporally flexible applications waiting for a low-intensity start.
-  std::vector<sim::Application> deferred;
-  // Formerly-hosted applications that lost their server — bumped by a
-  // rejected re-optimization or orphaned by a crash — awaiting re-placement;
-  // they retry through the deferral queue and must never be counted as
-  // fresh rejections. Maps the app to the site it last ran on, for
-  // migration accounting when it lands again; kNoAccountedSite marks crash
-  // victims, whose redeployment is not a data-movement migration.
-  constexpr std::size_t kNoAccountedSite = static_cast<std::size_t>(-1);
-  std::unordered_map<sim::AppId, std::size_t> displaced_from;
-
-  // Reused shard buffers (allocated once, cleared per epoch). The hosted
-  // snapshot materializes the map's iteration order — identical for every
-  // lane count because all map mutations happen on the coordinating thread
-  // — so sharded per-app work can index it and serial folds can replay it.
-  std::vector<std::pair<sim::AppId, const HostedApp*>> hosted_snapshot;
-  std::vector<std::vector<std::uint8_t>> failure_draws(cluster.size());
-  std::vector<std::uint8_t> defer_start;
-  std::vector<std::uint8_t> migration_veto;
-  std::vector<sim::AppEpochSample> app_samples;
-  const auto snapshot_hosted = [&] {
-    hosted_snapshot.clear();
-    hosted_snapshot.reserve(hosted.size());
-    for (const auto& [id, entry] : hosted) hosted_snapshot.emplace_back(id, &entry);
-  };
-
-  const auto find_server = [&](std::size_t site, std::uint32_t server_id) -> sim::EdgeServer& {
-    for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
-      if (server.id() == server_id) return server;
-    }
-    throw std::logic_error("hosted app references unknown server");
-  };
-
-  // Expected per-epoch operational carbon of `app` on `server` at `hour`.
-  const auto carbon_rate_g = [&](const sim::Application& app, const sim::EdgeServer& server,
-                                 const std::string& zone, carbon::HourIndex hour) {
-    const sim::ProfileResult prof = sim::profile_of(app.model, server.device());
-    if (!prof.supported) return -1.0;
-    const double energy_wh = prof.profile.energy_j * app.rps * config.epoch_hours;
-    return energy_wh / 1000.0 *
-           carbon_->mean_forecast(zone, hour, config.forecast_horizon_hours);
-  };
-
-  // Migration data-movement cost of moving `app` out of `zone` at `hour`.
-  const auto migration_cost = [&](const sim::Application& app, const std::string& zone,
-                                  carbon::HourIndex hour) {
-    const double energy_wh =
-        app.state_size_mb / 1024.0 * config.migration.network_energy_wh_per_gb;
-    const double carbon_g =
-        energy_wh / 1000.0 *
-        carbon_->mean_forecast(zone, hour, config.forecast_horizon_hours);
-    return std::pair{energy_wh, carbon_g};
-  };
-
-  const auto hour_at = [&](std::uint32_t epoch) {
-    return static_cast<carbon::HourIndex>(
-        config.start_hour + static_cast<carbon::HourIndex>(
-                                std::floor(static_cast<double>(epoch) * config.epoch_hours)));
-  };
-
+  // Fresh state per run: the engine starts from a pristine cluster copy and
+  // the workload stream depends only on the config seed.
+  SimulationEngine engine(pristine_, *carbon_, latency_, config, budget_, lane_cap_);
+  sim::WorkloadGenerator generator(config.workload, engine.cluster());
   for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const carbon::HourIndex hour = hour_at(epoch);
-
-    std::uint32_t epoch_failures = 0;
-    std::uint32_t epoch_migrations = 0;
-    double epoch_migration_energy = 0.0;
-    double epoch_migration_carbon = 0.0;
-    std::vector<sim::Application> batch;
-
-    // 1. Repairs, then fresh failures.
-    for (auto it = under_repair.begin(); it != under_repair.end();) {
-      if (epoch >= it->second) {
-        sim::EdgeServer& server = find_server(it->first.first, it->first.second);
-        server.set_failed(false);
-        server.set_powered_on(true);
-        it = under_repair.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    if (config.failures.mtbf_epochs > 0.0) {
-      const double fail_p = 1.0 / config.failures.mtbf_epochs;
-      // Pre-draw the epoch's failure streams into per-site buffers, one
-      // Bernoulli per eligible (powered-on, healthy) server in site/server
-      // order — exactly the serial engine's consumption. Materializing the
-      // draws up front decouples them from however the sharded sections
-      // interleave later: draw order can never depend on thread count.
-      // Eligibility is stable across this pass (marking one server failed
-      // never changes another's power or failure state), so the application
-      // loop below replays the same predicate to index the stream.
-      for (std::size_t site = 0; site < cluster.size(); ++site) {
-        std::vector<std::uint8_t>& draws = failure_draws[site];
-        draws.clear();
-        for (const sim::EdgeServer& server : cluster.sites()[site].servers()) {
-          if (!server.powered_on() || server.failed()) continue;
-          draws.push_back(failure_rng.bernoulli(fail_p) ? 1 : 0);
-        }
-      }
-      for (std::size_t site = 0; site < cluster.size(); ++site) {
-        std::size_t draw_index = 0;
-        for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
-          if (!server.powered_on() || server.failed()) continue;
-          if (draw_index >= failure_draws[site].size()) {
-            // The eligibility predicate diverged between the draw pass and
-            // this replay (a failure side effect must have changed another
-            // server's power/failure state) — that desynchronizes the
-            // stream, so fail loudly rather than consume wrong draws.
-            throw std::logic_error("failure stream desynchronized from eligibility replay");
-          }
-          if (!failure_draws[site][draw_index++]) continue;
-          // Re-batch the apps that were on the crashed server. Marking them
-          // displaced keeps them alive (retried, never counted as fresh
-          // rejections) if the shrunken cluster cannot re-place them at once.
-          for (auto it = hosted.begin(); it != hosted.end();) {
-            if (it->second.site == site && it->second.server == server.id()) {
-              displaced_from.insert_or_assign(it->first, kNoAccountedSite);
-              batch.push_back(it->second.app);
-              ++result.apps_redeployed;
-              it = hosted.erase(it);
-            } else {
-              ++it;
-            }
-          }
-          server.set_failed(true);
-          under_repair[{site, server.id()}] = epoch + config.failures.repair_epochs;
-          ++result.server_failures;
-          ++epoch_failures;
-        }
-      }
-    }
-
-    // 2. Departures. Guarded decrement: an application admitted with
-    // remaining_epochs == 0 departs immediately instead of underflowing to
-    // ~4B epochs and becoming immortal.
-    for (auto it = hosted.begin(); it != hosted.end();) {
-      if (it->second.app.remaining_epochs <= 1) {
-        find_server(it->second.site, it->second.server).evict(it->first);
-        it = hosted.erase(it);
-      } else {
-        --it->second.app.remaining_epochs;
-        ++it;
-      }
-    }
-
-    // 3. Arrivals — immediately placeable or deferred (temporal shifting,
-    //    paper Section 2.2) — plus periodic re-optimization of live apps.
-    for (sim::Application& app : generator.arrivals(epoch)) {
-      if (app.max_defer_epochs > 0) {
-        ++result.apps_deferred;
-        deferred.push_back(std::move(app));
-      } else {
-        batch.push_back(std::move(app));
-      }
-    }
-    // Release deferred applications at low-intensity hours: start when the
-    // origin zone's current intensity is no worse than anything the
-    // remaining defer budget could buy (the "wait awhile" heuristic), or
-    // when the budget runs out. The per-app forecast scans are the epoch's
-    // heaviest pure reads (a window of forecaster evaluations each), so
-    // they shard across lanes into per-app slots; the queue itself is then
-    // updated serially in queue order.
-    defer_start.assign(deferred.size(), 0);
-    parallel_items(deferred.size(), [&](std::size_t k) {
-      const sim::Application& app = deferred[k];
-      bool start = app.max_defer_epochs == 0;
-      if (!start) {
-        const std::string& zone = cluster.sites()[app.origin_site].zone();
-        const double now_ci = carbon_->intensity(zone, hour);
-        const auto window = static_cast<std::uint32_t>(
-            std::ceil(static_cast<double>(app.max_defer_epochs) * config.epoch_hours));
-        double future_min = now_ci;
-        for (const double v : carbon_->forecast(zone, hour + 1, window)) {
-          future_min = std::min(future_min, v);
-        }
-        start = now_ci <= future_min * 1.02;
-      }
-      defer_start[k] = start ? 1 : 0;
-    });
-    {
-      // Starters join the batch, the rest spend one epoch of budget; the
-      // stable in-place compaction preserves the old erase-as-you-go order.
-      std::size_t keep = 0;
-      for (std::size_t k = 0; k < deferred.size(); ++k) {
-        if (defer_start[k]) {
-          batch.push_back(std::move(deferred[k]));
-        } else {
-          --deferred[k].max_defer_epochs;
-          if (keep != k) deferred[keep] = std::move(deferred[k]);
-          ++keep;
-        }
-      }
-      deferred.resize(keep);
-    }
-    // Re-optimization cadence: calendar-month boundaries (the epoch whose
-    // hour enters a new month) or a fixed epoch period.
-    bool migrate = false;
-    if (epoch != 0) {
-      if (config.reoptimize_monthly) {
-        migrate = carbon::month_of_hour(hour) != carbon::month_of_hour(hour_at(epoch - 1));
-      } else {
-        migrate = config.reoptimize_every != 0 && epoch % config.reoptimize_every == 0;
-      }
-    }
-    // Where each re-optimization candidate was hosted before being evicted
-    // into the batch — for data-movement accounting on moves, and to restore
-    // the app if the solver rejects it.
-    struct PreviousPlacement {
-      std::size_t site = 0;
-      std::uint32_t server = 0;
-    };
-    std::unordered_map<sim::AppId, PreviousPlacement> previous_placement;
-    if (migrate) {
-      std::vector<sim::AppId> to_move;
-      snapshot_hosted();
-      if (config.migration.cost_aware) {
-        // Veto moves whose projected benefit cannot repay the transfer.
-        // Each app's veto scans every feasible server — the quadratic bulk
-        // of a re-optimization epoch — so the scans shard across lanes;
-        // the verdicts are then folded in snapshot order, preserving the
-        // serial engine's to_move order (and thus the solver's input).
-        migration_veto.assign(hosted_snapshot.size(), 0);
-        parallel_items(hosted_snapshot.size(), [&](std::size_t k) {
-          const HostedApp& entry = *hosted_snapshot[k].second;
-          const sim::EdgeServer& current = find_server(entry.site, entry.server);
-          const std::string& zone = cluster.sites()[entry.site].zone();
-          const double current_rate = carbon_rate_g(entry.app, current, zone, hour);
-          double best_rate = current_rate;
-          for (std::size_t site = 0; site < cluster.size(); ++site) {
-            const double rtt = 2.0 * latency_.one_way_ms(entry.app.origin_site, site);
-            if (rtt > entry.app.latency_limit_rtt_ms + 1e-9) continue;
-            for (const sim::EdgeServer& server : cluster.sites()[site].servers()) {
-              if (!server.can_host(entry.app.model, entry.app.rps)) continue;
-              const double rate =
-                  carbon_rate_g(entry.app, server, cluster.sites()[site].zone(), hour);
-              if (rate >= 0.0) best_rate = std::min(best_rate, rate);
-            }
-          }
-          const double lifetime = std::min<double>(config.migration.benefit_horizon_epochs,
-                                                   entry.app.remaining_epochs);
-          const double benefit = (current_rate - best_rate) * lifetime;
-          const auto [move_energy, move_carbon] = migration_cost(entry.app, zone, hour);
-          migration_veto[k] = benefit < move_carbon * config.migration.hysteresis ? 1 : 0;
-        });
-        for (std::size_t k = 0; k < hosted_snapshot.size(); ++k) {
-          if (migration_veto[k]) {
-            ++result.migrations_skipped;
-          } else {
-            to_move.push_back(hosted_snapshot[k].first);
-          }
-        }
-      } else {
-        for (const auto& [id, entry] : hosted_snapshot) to_move.push_back(id);
-      }
-      for (const sim::AppId id : to_move) {
-        auto& entry = hosted.at(id);
-        find_server(entry.site, entry.server).evict(id);
-        previous_placement.emplace(id, PreviousPlacement{entry.site, entry.server});
-        batch.push_back(entry.app);
-        hosted.erase(id);
-      }
-    }
-
-    // 4. Placement (Algorithm 1) + deployment.
-    PlacementInput input;
-    input.cluster = &cluster;
-    input.latency = &latency_;
-    input.carbon = carbon_;
-    input.now = hour;
-    input.forecast_horizon_hours = config.forecast_horizon_hours;
-    input.epoch_hours = config.epoch_hours;
-    const PlacementResult placement = service.place(input, batch);
-    result.total_solve_ms += placement.solve_time_ms;
-    orchestrator.deploy(placement);
-
-    std::unordered_map<sim::AppId, const sim::Application*> by_id;
-    by_id.reserve(batch.size());
-    for (const sim::Application& app : batch) by_id.emplace(app.id, &app);
-    // Charge the data movement of an app that left `from_site` this epoch.
-    const auto account_move = [&](const sim::Application& app, std::size_t from_site) {
-      const auto [move_energy, move_carbon] =
-          migration_cost(app, cluster.sites()[from_site].zone(), hour);
-      epoch_migration_energy += move_energy;
-      epoch_migration_carbon += move_carbon;
-      ++epoch_migrations;
-      ++result.migrations;
-    };
-    for (const PlacementDecision& decision : placement.decisions) {
-      hosted.emplace(decision.app,
-                     HostedApp{*by_id.at(decision.app), decision.site, decision.server});
-      // Account data movement for re-optimized (or earlier-displaced) apps
-      // that changed site.
-      const auto prev = previous_placement.find(decision.app);
-      const auto limbo = displaced_from.find(decision.app);
-      if (prev != previous_placement.end()) {
-        if (prev->second.site != decision.site) {
-          account_move(*by_id.at(decision.app), prev->second.site);
-        }
-      } else if (limbo != displaced_from.end()) {
-        if (limbo->second != kNoAccountedSite && limbo->second != decision.site) {
-          account_move(*by_id.at(decision.app), limbo->second);
-        }
-        displaced_from.erase(limbo);
-      }
-    }
-
-    // A live application must never be lost to a re-optimization attempt:
-    // if the solver rejected an evicted migrant (e.g. capacity shrank after
-    // a failure), put it back on its previous server — the evict freed that
-    // capacity, so it is normally reclaimable — and count the non-move as a
-    // skipped migration, not a rejection. Only fresh arrivals can be
-    // genuinely rejected.
-    std::uint32_t fresh_rejected = 0;
-    for (const sim::AppId id : placement.rejected) {
-      const auto prev = previous_placement.find(id);
-      const auto limbo = displaced_from.find(id);
-      if (prev == previous_placement.end() && limbo == displaced_from.end()) {
-        ++fresh_rejected;
-        continue;
-      }
-      const sim::Application& app = *by_id.at(id);
-      const std::size_t home_site =
-          prev != previous_placement.end() ? prev->second.site : limbo->second;
-      sim::EdgeServer* target = nullptr;
-      std::size_t target_site = home_site;
-      if (prev != previous_placement.end()) {
-        sim::EdgeServer& old_server = find_server(prev->second.site, prev->second.server);
-        if (old_server.powered_on() && old_server.can_host(app.model, app.rps)) {
-          target = &old_server;
-        }
-      }
-      if (target == nullptr) {
-        // The slot is gone (taken by a competing batch member, or the app
-        // has been in limbo since an earlier epoch); fall back to the first
-        // powered-on latency-feasible server with headroom. can_host() does
-        // not cover power state, and activating a cold server here would
-        // bypass the optimizer's Eq. 5 activation decision, so off servers
-        // are skipped.
-        for (std::size_t site = 0; site < cluster.size() && target == nullptr; ++site) {
-          if (2.0 * latency_.one_way_ms(app.origin_site, site) >
-              app.latency_limit_rtt_ms + 1e-9) {
-            continue;
-          }
-          for (sim::EdgeServer& server : cluster.sites()[site].servers()) {
-            if (server.powered_on() && server.can_host(app.model, app.rps)) {
-              target = &server;
-              target_site = site;
-              break;
-            }
-          }
-        }
-      }
-      if (prev != previous_placement.end() &&
-          (target == nullptr || target_site == home_site)) {
-        // The optimizer's intended migration did not happen and the app
-        // stayed (or parked) at home; landing on another site is instead a
-        // real move, charged below.
-        ++result.migrations_skipped;
-      }
-      if (target != nullptr) {
-        target->host(sim::AppInstance{id, app.model, app.rps});
-        hosted.emplace(id, HostedApp{app, target_site, target->id()});
-        // Landing away from the app's previous site is a real (forced)
-        // move and pays the transfer emissions like any other migration —
-        // except for crash victims, whose old server is gone.
-        if (home_site != kNoAccountedSite && target_site != home_site) {
-          account_move(app, home_site);
-        }
-        if (limbo != displaced_from.end()) displaced_from.erase(limbo);
-      } else {
-        // No capacity anywhere this epoch (another app took the freed slot
-        // and the cluster is saturated): keep the app alive and retry at the
-        // next epoch via the deferral queue rather than dropping it. The
-        // epoch it sits out is real downtime for a live app — account it.
-        displaced_from.insert_or_assign(id, home_site);
-        ++result.app_downtime_epochs;
-        sim::Application retry = app;
-        retry.max_defer_epochs = 0;
-        deferred.push_back(std::move(retry));
-      }
-    }
-    result.apps_placed += placement.decisions.size();
-    result.apps_rejected += fresh_rejected;
-    result.migration_energy_wh += epoch_migration_energy;
-    result.migration_carbon_g += epoch_migration_carbon;
-
-    // 5. Accounting.
-    sim::EpochRecord record;
-    record.epoch = epoch;
-    record.apps_placed = static_cast<std::uint32_t>(placement.decisions.size());
-    record.apps_rejected = fresh_rejected;
-    record.migration_energy_wh = epoch_migration_energy;
-    record.migration_carbon_g = epoch_migration_carbon;
-    record.migrations = epoch_migrations;
-    record.failures = epoch_failures;
-    // Per-site records are pure functions of (site, zone intensity) into
-    // disjoint slots; per-app latency samples are computed shard-parallel
-    // into per-app slots and folded into the epoch sums and the response
-    // histogram in snapshot order — the same floating-point order as the
-    // serial engine, for every lane count.
-    record.sites.resize(cluster.size());
-    parallel_items(cluster.size(), [&](std::size_t s) {
-      const sim::EdgeDataCenter& site = cluster.sites()[s];
-      record.sites[s] = sim::make_site_epoch_record(site, carbon_->intensity(site.zone(), hour),
-                                                    config.epoch_hours,
-                                                    config.account_base_power);
-    });
-    snapshot_hosted();
-    app_samples.resize(hosted_snapshot.size());
-    parallel_items(hosted_snapshot.size(), [&](std::size_t k) {
-      const HostedApp& entry = *hosted_snapshot[k].second;
-      const double rtt = 2.0 * latency_.one_way_ms(entry.app.origin_site, entry.site);
-      const sim::EdgeServer& server = find_server(entry.site, entry.server);
-      app_samples[k] = sim::AppEpochSample{rtt, rtt + server.mean_service_ms(entry.app.model),
-                                           entry.app.rps};
-    });
-    result.telemetry.fold_app_samples(record, app_samples);
-    result.telemetry.record(std::move(record));
-
-    // 6. Power management between epochs.
-    power_manager.sweep(cluster);
+    engine.step(generator.arrivals(epoch));
   }
-
-  // Deferred applications whose start never came before the horizon ran out
-  // are accounted explicitly so placed + rejected + expired reconcile.
-  // Displaced retries parked in the same queue were already counted in
-  // apps_placed at admission, so they are excluded.
-  for (const sim::Application& app : deferred) {
-    if (!displaced_from.contains(app.id)) ++result.apps_expired_deferred;
-  }
-
-  result.mean_solve_ms =
-      config.epochs > 0 ? result.total_solve_ms / static_cast<double>(config.epochs) : 0.0;
-  result.mean_deploy_ms = orchestrator.mean_deploy_ms();
-  return result;
+  return engine.finish();
 }
 
 std::vector<SimulationResult> run_policies(EdgeSimulation& simulation,

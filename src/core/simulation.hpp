@@ -4,6 +4,10 @@
 // periodic re-optimization (migration), power management, and telemetry.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "core/orchestrator.hpp"
@@ -13,6 +17,11 @@
 #include "sim/telemetry.hpp"
 #include "sim/workload.hpp"
 #include "util/parallelism.hpp"
+#include "util/random.hpp"
+
+namespace carbonedge::util {
+class ThreadPool;
+}
 
 namespace carbonedge::core {
 
@@ -95,6 +104,123 @@ struct SimulationResult {
   std::uint64_t app_downtime_epochs = 0;
 };
 
+/// An externally injected server crash (the serving mode's failure events).
+/// Applied ahead of the engine's own MTBF sampling, through the same
+/// displacement/repair path as a drawn failure.
+struct ServerFailureEvent {
+  std::size_t site = 0;
+  std::uint32_t server_id = 0;
+};
+
+/// The epoch state machine extracted from EdgeSimulation::run: one instance
+/// holds a run's full mutable state (cluster, hosted/deferred/displaced
+/// queues, failure stream, telemetry) and advances one epoch per step().
+///
+/// Two drivers exist: EdgeSimulation::run feeds it WorkloadGenerator
+/// arrivals on a fixed horizon (the batch engine), and serve::EventLoop
+/// feeds it event-stream arrivals bucketed into epoch-aligned windows (the
+/// streaming engine). Both run the *same* epoch body, which is what makes
+/// the serve replay oracle exact: an epoch-aligned replay of the same
+/// arrival stream reproduces the batch counters bit for bit.
+///
+/// Threading matches EdgeSimulation::run (see its class comment): the
+/// engine leases lanes at construction and shards pure per-item work, all
+/// RNG draws and state mutation on the stepping thread.
+class SimulationEngine {
+ public:
+  /// `cluster` is the initial state (a pristine copy, never shared).
+  /// `latency` and `carbon` must outlive the engine.
+  SimulationEngine(sim::EdgeCluster cluster, const carbon::CarbonIntensityService& carbon,
+                   const geo::LatencyMatrix& latency, const SimulationConfig& config,
+                   util::ParallelismBudget* budget = nullptr, std::size_t lane_cap = 0);
+  ~SimulationEngine();
+  SimulationEngine(const SimulationEngine&) = delete;
+  SimulationEngine& operator=(const SimulationEngine&) = delete;
+
+  struct StepOptions {
+    /// Overrides the config's re-optimization cadence for this epoch when
+    /// set (the serving mode's event-driven trigger); unset keeps the
+    /// calendar/fixed-period decision. Epoch 0 never migrates either way.
+    std::optional<bool> migrate;
+    /// Crashes injected from the event stream, applied in span order.
+    std::span<const ServerFailureEvent> failures;
+  };
+
+  /// Advance one epoch with the given arrival batch (the epoch's index is
+  /// next_epoch()). Throws std::logic_error once the configured horizon is
+  /// exhausted.
+  void step(std::vector<sim::Application> arrivals, const StepOptions& options = {});
+
+  /// Epoch index the next step() will run (== steps taken so far).
+  [[nodiscard]] std::uint32_t next_epoch() const noexcept { return epoch_; }
+  [[nodiscard]] carbon::HourIndex hour_of(std::uint32_t epoch) const noexcept;
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::EdgeCluster& cluster() const noexcept { return cluster_; }
+  /// Running counters and telemetry (one EpochRecord per completed step).
+  [[nodiscard]] const SimulationResult& partial() const noexcept { return result_; }
+  /// Mutable telemetry access (the serve loop attaches its per-window
+  /// response-histogram sink here; never needed by the batch driver).
+  [[nodiscard]] sim::Telemetry& telemetry() noexcept { return result_.telemetry; }
+
+  /// Final accounting (expired-deferred reconciliation, solve/deploy
+  /// means). The engine is spent afterwards — step() must not be called.
+  [[nodiscard]] SimulationResult finish();
+
+ private:
+  struct HostedApp {
+    sim::Application app;
+    std::size_t site = 0;
+    std::uint32_t server = 0;
+  };
+
+  template <typename Body>
+  void parallel_items(std::size_t count, const Body& body);
+  [[nodiscard]] sim::EdgeServer& find_server(std::size_t site, std::uint32_t server_id);
+  /// Crash one server: displace its apps into `batch`, mark it failed, and
+  /// schedule the repair. Shared by drawn and injected failures.
+  void crash_server(std::size_t site, sim::EdgeServer& server, std::uint32_t epoch,
+                    std::vector<sim::Application>& batch, std::uint32_t& epoch_failures);
+  void snapshot_hosted();
+
+  SimulationConfig config_;
+  sim::EdgeCluster cluster_;
+  const carbon::CarbonIntensityService* carbon_;
+  const geo::LatencyMatrix* latency_;
+  util::ParallelismBudget::Lease lease_;
+  std::size_t lanes_ = 1;
+  std::unique_ptr<util::ThreadPool> shard_pool_;
+  PlacementService service_;
+  PowerManager power_manager_;
+  Orchestrator orchestrator_;
+  util::Rng failure_rng_;
+  SimulationResult result_;
+  std::uint32_t epoch_ = 0;
+  bool finished_ = false;
+
+  std::unordered_map<sim::AppId, HostedApp> hosted_;
+  // (site, server id) -> epoch at which the server comes back.
+  std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> under_repair_;
+  // Temporally flexible applications waiting for a low-intensity start.
+  std::vector<sim::Application> deferred_;
+  // Formerly-hosted applications that lost their server — bumped by a
+  // rejected re-optimization or orphaned by a crash — awaiting re-placement;
+  // they retry through the deferral queue and must never be counted as
+  // fresh rejections. Maps the app to the site it last ran on, for
+  // migration accounting when it lands again; kNoAccountedSite marks crash
+  // victims, whose redeployment is not a data-movement migration.
+  std::unordered_map<sim::AppId, std::size_t> displaced_from_;
+
+  // Reused shard buffers (allocated once, cleared per epoch). The hosted
+  // snapshot materializes the map's iteration order — identical for every
+  // lane count because all map mutations happen on the stepping thread —
+  // so sharded per-app work can index it and serial folds can replay it.
+  std::vector<std::pair<sim::AppId, const HostedApp*>> hosted_snapshot_;
+  std::vector<std::vector<std::uint8_t>> failure_draws_;
+  std::vector<std::uint8_t> defer_start_;
+  std::vector<std::uint8_t> migration_veto_;
+  std::vector<sim::AppEpochSample> app_samples_;
+};
+
 /// Owns a pristine cluster copy; every run() starts from that state, so the
 /// same simulation object can evaluate multiple policies on identical
 /// workloads (the workload stream depends only on the config seed).
@@ -127,6 +253,9 @@ class EdgeSimulation {
 
   [[nodiscard]] const geo::LatencyMatrix& latency() const noexcept { return latency_; }
   [[nodiscard]] const sim::EdgeCluster& pristine_cluster() const noexcept { return pristine_; }
+  [[nodiscard]] const carbon::CarbonIntensityService& carbon_service() const noexcept {
+    return *carbon_;
+  }
 
  private:
   struct HostedApp {

@@ -1,0 +1,46 @@
+// Streaming serving mode — the event vocabulary.
+//
+// The serving loop (serve/event_loop.hpp) consumes a time-ordered stream of
+// events instead of a fixed batch horizon: application arrivals (offload
+// requests entering the system) and server failures (crash reports from the
+// fleet). Event time is continuous simulated hours; the loop buckets events
+// into the engine epoch containing their timestamp.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace carbonedge::serve {
+
+enum class EventType : std::uint8_t {
+  kArrival,  // an application requesting placement
+  kFailure,  // a server crash reported by the fleet
+};
+
+struct Event {
+  double time_hours = 0.0;
+  EventType type = EventType::kArrival;
+  sim::Application app;               // valid when type == kArrival
+  core::ServerFailureEvent failure;   // valid when type == kFailure
+};
+
+[[nodiscard]] inline Event make_arrival(double time_hours, sim::Application app) {
+  Event event;
+  event.time_hours = time_hours;
+  event.type = EventType::kArrival;
+  event.app = app;
+  return event;
+}
+
+[[nodiscard]] inline Event make_failure(double time_hours, std::size_t site,
+                                        std::uint32_t server_id) {
+  Event event;
+  event.time_hours = time_hours;
+  event.type = EventType::kFailure;
+  event.failure = core::ServerFailureEvent{site, server_id};
+  return event;
+}
+
+}  // namespace carbonedge::serve

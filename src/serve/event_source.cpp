@@ -1,0 +1,190 @@
+#include "serve/event_source.hpp"
+
+#include <cmath>
+#include <istream>
+#include <stdexcept>
+
+namespace carbonedge::serve {
+
+// ---------------------------------------------------- TraceReplaySource --
+
+TraceReplaySource::TraceReplaySource(const sim::WorkloadParams& params,
+                                     const sim::EdgeCluster& cluster, std::uint32_t epochs,
+                                     double epoch_hours)
+    : generator_(params, cluster), epochs_(epochs), epoch_hours_(epoch_hours) {}
+
+std::optional<Event> TraceReplaySource::next() {
+  while (cursor_ >= pending_.size()) {
+    if (epoch_ >= epochs_) return std::nullopt;
+    // One generator call per epoch, in epoch order — the identical RNG
+    // consumption as the batch driver's generator.arrivals(epoch) loop.
+    pending_ = generator_.arrivals(epoch_);
+    cursor_ = 0;
+    ++epoch_;
+  }
+  const double time = static_cast<double>(epoch_ - 1) * epoch_hours_;
+  return make_arrival(time, pending_[cursor_++]);
+}
+
+// ------------------------------------------------------- CsvEventSource --
+
+namespace {
+
+[[noreturn]] void line_fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("serve events line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> split_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      break;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+// Strict full-cell numeric parses, mirroring carbon/trace_io.cpp: trailing
+// garbage, empty cells, and non-finite or negative values are rejected with
+// the offending line and cell.
+double parse_number(const std::string& cell, std::size_t line, const char* column) {
+  double value = 0.0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stod(cell, &consumed);
+    if (consumed != cell.size()) throw std::invalid_argument("trailing characters");
+  } catch (const std::exception&) {
+    line_fail(line, std::string("invalid ") + column + " '" + cell + "'");
+  }
+  if (!std::isfinite(value)) {
+    line_fail(line, std::string("non-finite ") + column + " '" + cell + "'");
+  }
+  if (value < 0.0) line_fail(line, std::string("negative ") + column + " '" + cell + "'");
+  return value;
+}
+
+std::uint64_t parse_unsigned(const std::string& cell, std::size_t line, const char* column) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(cell, &consumed);
+    if (consumed != cell.size() || cell.find('-') != std::string::npos) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    line_fail(line, std::string("invalid ") + column + " '" + cell + "'");
+  }
+}
+
+sim::ModelType parse_model(const std::string& cell, std::size_t line) {
+  for (const sim::ModelType model : sim::kAllModels) {
+    if (cell == sim::to_string(model)) return model;
+  }
+  line_fail(line, "unknown model '" + cell + "'");
+}
+
+}  // namespace
+
+CsvEventSource::CsvEventSource(std::istream& in, ErrorPolicy policy)
+    : in_(&in), policy_(policy) {}
+
+std::optional<Event> CsvEventSource::parse_line(const std::string& line) {
+  const std::vector<std::string> cells = split_cells(line);
+  if (cells.size() != 11) {
+    line_fail(line_number_, "expected 11 cells, got " + std::to_string(cells.size()));
+  }
+  const double time_hours = parse_number(cells[0], line_number_, "time_hours");
+  const std::string& type = cells[1];
+  if (type == "arrival") {
+    sim::Application app;
+    app.id = next_id_++;
+    app.origin_site =
+        static_cast<std::size_t>(parse_unsigned(cells[2], line_number_, "origin_site"));
+    app.model = parse_model(cells[3], line_number_);
+    app.rps = parse_number(cells[4], line_number_, "rps");
+    if (app.rps <= 0.0) line_fail(line_number_, "rps must be positive");
+    app.latency_limit_rtt_ms = parse_number(cells[5], line_number_, "latency_limit_rtt_ms");
+    app.remaining_epochs =
+        static_cast<std::uint32_t>(parse_unsigned(cells[6], line_number_, "lifetime_epochs"));
+    app.state_size_mb = parse_number(cells[7], line_number_, "state_mb");
+    app.max_defer_epochs =
+        static_cast<std::uint32_t>(parse_unsigned(cells[8], line_number_, "max_defer_epochs"));
+    return make_arrival(time_hours, app);
+  }
+  if (type == "failure") {
+    const auto site = static_cast<std::size_t>(parse_unsigned(cells[9], line_number_, "site"));
+    const auto server =
+        static_cast<std::uint32_t>(parse_unsigned(cells[10], line_number_, "server"));
+    return make_failure(time_hours, site, server);
+  }
+  line_fail(line_number_, "unknown event type '" + type + "'");
+}
+
+std::optional<Event> CsvEventSource::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF feeds
+    if (!header_checked_) {
+      header_checked_ = true;
+      if (line != kCsvHeader) line_fail(line_number_, "bad or missing header");
+      continue;
+    }
+    if (line.empty()) continue;
+    if (policy_ == ErrorPolicy::kThrow) return parse_line(line);
+    try {
+      return parse_line(line);
+    } catch (const std::runtime_error& error) {
+      ++rejected_;
+      last_error_ = error.what();
+    }
+  }
+  if (!header_checked_) {
+    // An empty feed has no header either; treat as an empty stream.
+    header_checked_ = true;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------- BurstSource --
+
+BurstSource::BurstSource(std::size_t sites, std::uint32_t epochs, double epoch_hours,
+                         double base_per_epoch, std::vector<BurstPhase> phases,
+                         sim::Application app_template)
+    : sites_(sites),
+      epochs_(epochs),
+      epoch_hours_(epoch_hours),
+      base_per_epoch_(base_per_epoch),
+      phases_(std::move(phases)),
+      template_(app_template) {
+  if (sites_ == 0) throw std::invalid_argument("burst source: no sites");
+}
+
+std::optional<Event> BurstSource::next() {
+  while (emitted_this_epoch_ >= count_this_epoch_) {
+    if (epoch_ >= epochs_) return std::nullopt;
+    double rate = base_per_epoch_;
+    for (const BurstPhase& phase : phases_) {
+      if (epoch_ >= phase.start_epoch && epoch_ < phase.start_epoch + phase.length_epochs) {
+        rate += phase.arrivals_per_epoch;
+      }
+    }
+    count_this_epoch_ = static_cast<std::uint32_t>(std::llround(rate));
+    emitted_this_epoch_ = 0;
+    ++epoch_;
+  }
+  ++emitted_this_epoch_;
+  sim::Application app = template_;
+  app.id = next_id_++;
+  app.origin_site = next_site_;
+  next_site_ = (next_site_ + 1) % sites_;
+  const double time = static_cast<double>(epoch_ - 1) * epoch_hours_;
+  return make_arrival(time, app);
+}
+
+}  // namespace carbonedge::serve

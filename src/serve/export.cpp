@@ -1,0 +1,91 @@
+#include "serve/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace carbonedge::serve {
+
+bool OstreamSink::write(std::string_view line) {
+  if (!out_->good()) return false;
+  (*out_) << line;
+  out_->flush();
+  return out_->good();
+}
+
+WindowCsvExporter::WindowCsvExporter(ByteSink& sink, std::size_t max_buffered)
+    : sink_(&sink), max_buffered_(max_buffered) {}
+
+std::string WindowCsvExporter::header_line() {
+  return "window,start_hours,end_hours,epochs,arrivals,placed,rejected,migrations,"
+         "failures,energy_wh,carbon_g,rps_total,mean_rtt_ms,p50_response_ms,"
+         "p99_response_ms,ema_intensity_g_kwh,ema_response_ms,ema_load_rps,"
+         "reopt_fired,ingest_dropped,export_dropped\n";
+}
+
+std::string WindowCsvExporter::format_row(const WindowStats& w) {
+  std::string row;
+  row += std::to_string(w.window);
+  row += ',' + util::format_double(w.start_hours, 3);
+  row += ',' + util::format_double(w.end_hours, 3);
+  row += ',' + std::to_string(w.epochs);
+  row += ',' + std::to_string(w.arrivals);
+  row += ',' + std::to_string(w.apps_placed);
+  row += ',' + std::to_string(w.apps_rejected);
+  row += ',' + std::to_string(w.migrations);
+  row += ',' + std::to_string(w.failures);
+  row += ',' + util::format_double(w.energy_wh, 4);
+  row += ',' + util::format_double(w.carbon_g, 4);
+  row += ',' + util::format_double(w.rps_total, 3);
+  row += ',' + util::format_double(w.mean_rtt_ms, 4);
+  row += ',' + util::format_double(w.p50_response_ms, 4);
+  row += ',' + util::format_double(w.p99_response_ms, 4);
+  row += ',' + util::format_double(w.ema_intensity_g_kwh, 4);
+  row += ',' + util::format_double(w.ema_response_ms, 4);
+  row += ',' + util::format_double(w.ema_load_rps, 3);
+  row += ',';
+  row += w.reopt_fired ? '1' : '0';
+  row += ',' + std::to_string(w.ingest_dropped);
+  row += ',' + std::to_string(w.export_dropped);
+  row += '\n';
+  return row;
+}
+
+void WindowCsvExporter::offer(std::string line) {
+  // Deliver in order: anything already buffered goes first. One refusal
+  // stops the drain — the sink said "stalled", so the rest stays queued.
+  while (!buffered_.empty()) {
+    if (!sink_->write(buffered_.front())) break;
+    ++stats_.lines_written;
+    buffered_.pop_front();
+  }
+  if (buffered_.empty() && sink_->write(line)) {
+    ++stats_.lines_written;
+  } else if (buffered_.size() < max_buffered_) {
+    buffered_.push_back(std::move(line));
+    stats_.buffered_peak = std::max<std::uint64_t>(stats_.buffered_peak, buffered_.size());
+  } else {
+    ++stats_.lines_dropped;
+  }
+  stats_.currently_buffered = buffered_.size();
+}
+
+void WindowCsvExporter::export_window(const WindowStats& window) {
+  if (header_pending_) {
+    header_pending_ = false;
+    offer(header_line());
+  }
+  offer(format_row(window));
+}
+
+void WindowCsvExporter::flush() {
+  while (!buffered_.empty()) {
+    if (!sink_->write(buffered_.front())) break;
+    ++stats_.lines_written;
+    buffered_.pop_front();
+  }
+  stats_.currently_buffered = buffered_.size();
+}
+
+}  // namespace carbonedge::serve

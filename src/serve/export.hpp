@@ -1,0 +1,76 @@
+// Best-effort windowed-telemetry CSV export.
+//
+// A serving loop's downstream sink (a file on a full disk, a pipe to a
+// dead collector, a database outage) must never stall serving or corrupt
+// window accounting. The exporter formats each closed window as one CSV
+// row and hands it to a ByteSink; refused rows are buffered (bounded) and
+// retried in order on the next write, and rows beyond the buffer cap are
+// dropped with a counter. Losing export rows loses *visibility*, never
+// *accounting* — the WindowStats records themselves are untouched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "serve/window.hpp"
+
+namespace carbonedge::serve {
+
+/// Destination for export lines. write() returns false when the line was
+/// not accepted (downstream stalled); the exporter treats that as
+/// backpressure, not an error.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  [[nodiscard]] virtual bool write(std::string_view line) = 0;
+};
+
+/// Sink over any std::ostream; a failed stream refuses writes.
+class OstreamSink final : public ByteSink {
+ public:
+  explicit OstreamSink(std::ostream& out) : out_(&out) {}
+  [[nodiscard]] bool write(std::string_view line) override;
+
+ private:
+  std::ostream* out_;
+};
+
+struct ExportStats {
+  std::uint64_t lines_written = 0;
+  std::uint64_t lines_dropped = 0;    // buffer was full while the sink stalled
+  std::uint64_t buffered_peak = 0;    // high-water mark of the stall buffer
+  std::uint64_t currently_buffered = 0;
+};
+
+class WindowCsvExporter {
+ public:
+  explicit WindowCsvExporter(ByteSink& sink, std::size_t max_buffered = 1024);
+
+  /// Export one closed window: retry anything buffered first (rows must
+  /// arrive downstream in window order), then this row. Never blocks and
+  /// never throws on sink refusal.
+  void export_window(const WindowStats& window);
+
+  /// Retry buffered rows (e.g. after the downstream recovered).
+  void flush();
+
+  [[nodiscard]] const ExportStats& stats() const noexcept { return stats_; }
+
+  /// The CSV schema, one column per WindowStats field (documented in the
+  /// README's serving-mode section).
+  [[nodiscard]] static std::string header_line();
+  [[nodiscard]] static std::string format_row(const WindowStats& window);
+
+ private:
+  void offer(std::string line);
+
+  ByteSink* sink_;
+  std::size_t max_buffered_;
+  bool header_pending_ = true;
+  std::deque<std::string> buffered_;
+  ExportStats stats_;
+};
+
+}  // namespace carbonedge::serve

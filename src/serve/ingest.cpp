@@ -1,0 +1,54 @@
+#include "serve/ingest.hpp"
+
+#include <stdexcept>
+
+namespace carbonedge::serve {
+
+IngestQueue::IngestQueue(std::size_t capacity, OutOfOrderPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) throw std::invalid_argument("ingest queue: zero capacity");
+}
+
+bool IngestQueue::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (event.time_hours < watermark_) {
+    if (policy_ == OutOfOrderPolicy::kDrop) {
+      ++stats_.dropped_stale;
+      return false;
+    }
+    event.time_hours = watermark_;
+    ++stats_.clamped_stale;
+  }
+  if (events_.size() >= capacity_) {
+    ++stats_.dropped_overflow;
+    return false;
+  }
+  events_.push_back(std::move(event));
+  ++stats_.accepted;
+  return true;
+}
+
+std::optional<Event> IngestQueue::pop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return std::nullopt;
+  Event event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+void IngestQueue::set_watermark(double hours) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  watermark_ = hours;
+}
+
+std::size_t IngestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+IngestStats IngestQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace carbonedge::serve

@@ -1,0 +1,66 @@
+// Bounded, non-blocking event ingest with explicit backpressure counters.
+//
+// The serving loop must never let a slow consumer stall its producers (the
+// xenoeye worker-over-packetized-feed rule): push() takes a lock only long
+// enough to enqueue or refuse, and a full queue *drops* the event and
+// counts it instead of blocking. Late events (older than the consumer's
+// watermark — the open window's start) are handled per policy: dropped, or
+// clamped forward into the open window; both outcomes are counted so the
+// telemetry always shows what the ingest layer did.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/event.hpp"
+
+namespace carbonedge::serve {
+
+enum class OutOfOrderPolicy : std::uint8_t {
+  kDrop,   // reject events older than the watermark
+  kClamp,  // pull them forward into the open window
+};
+
+struct IngestStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped_overflow = 0;  // queue was full
+  std::uint64_t dropped_stale = 0;     // behind the watermark, policy kDrop
+  std::uint64_t clamped_stale = 0;     // behind the watermark, policy kClamp
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_overflow + dropped_stale;
+  }
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(std::size_t capacity,
+                       OutOfOrderPolicy policy = OutOfOrderPolicy::kClamp);
+
+  /// Enqueue one event. Returns false — without ever blocking — when the
+  /// event was dropped (queue full, or stale under kDrop); every outcome
+  /// is counted in stats(). Thread-safe against a concurrent consumer.
+  bool push(Event event);
+
+  /// Dequeue the oldest event, or nullopt when empty. Never blocks.
+  [[nodiscard]] std::optional<Event> pop();
+
+  /// Advance the consumer's time horizon: events stamped before this are
+  /// out of order and subject to the policy.
+  void set_watermark(double hours);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] IngestStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  const OutOfOrderPolicy policy_;
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+  double watermark_ = 0.0;
+  IngestStats stats_;
+};
+
+}  // namespace carbonedge::serve

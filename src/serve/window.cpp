@@ -1,0 +1,38 @@
+#include "serve/window.hpp"
+
+#include <stdexcept>
+
+namespace carbonedge::serve {
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("ema: alpha must be in (0, 1]");
+  }
+}
+
+double Ema::update(double x) noexcept {
+  value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+  primed_ = true;
+  return value_;
+}
+
+ThresholdTrigger::ThresholdTrigger(double fire, double rearm) : fire_(fire), rearm_(rearm) {
+  if (rearm > fire) {
+    throw std::invalid_argument("threshold trigger: rearm must not exceed fire");
+  }
+}
+
+bool ThresholdTrigger::update(double value) noexcept {
+  if (armed_) {
+    if (value > fire_) {
+      armed_ = false;
+      ++fires_;
+      return true;
+    }
+    return false;
+  }
+  if (value < rearm_) armed_ = true;
+  return false;
+}
+
+}  // namespace carbonedge::serve

@@ -1,0 +1,82 @@
+// Fixed-window aggregation and EMA-threshold triggers for the serving loop.
+//
+// The xenoeye idiom: a high-rate feed is aggregated into fixed time windows
+// (counts, tails, totals per window), exponential moving averages smooth
+// the per-window signals, and threshold crossings — with hysteresis, so a
+// noisy signal hovering at the line cannot fire a re-trigger storm — drive
+// actions. Here the action is event-driven re-optimization through the
+// placement service, replacing the batch engine's fixed calendar cadence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace carbonedge::serve {
+
+/// Telemetry of one closed aggregation window (window_epochs engine epochs).
+struct WindowStats {
+  std::uint32_t window = 0;        // index, 0-based
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+  std::uint32_t epochs = 0;        // engine epochs folded into this window
+
+  std::uint64_t arrivals = 0;      // arrival events ingested
+  std::uint32_t apps_placed = 0;
+  std::uint32_t apps_rejected = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t failures = 0;
+
+  double energy_wh = 0.0;          // sites + migration, summed over epochs
+  double carbon_g = 0.0;
+  double rps_total = 0.0;          // sum of per-epoch hosted rps
+  double mean_rtt_ms = 0.0;        // request-weighted within the window
+  double p50_response_ms = 0.0;    // window response-time distribution
+  double p99_response_ms = 0.0;
+
+  double ema_intensity_g_kwh = 0.0;  // EMA of rps-weighted carbon intensity
+  double ema_response_ms = 0.0;      // EMA of window mean response time
+  double ema_load_rps = 0.0;         // EMA of per-epoch hosted rps
+
+  bool reopt_fired = false;        // EMA trigger crossed at this window close
+  std::uint64_t ingest_dropped = 0;  // cumulative ingest drops at close
+  std::uint64_t export_dropped = 0;  // cumulative export drops at close
+};
+
+/// Exponential moving average: value' = alpha * x + (1 - alpha) * value,
+/// seeded with the first observation.
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  double update(double x) noexcept;
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Hysteresis threshold: fires exactly once when the signal crosses above
+/// `fire`, then stays disarmed until the signal falls below `rearm`
+/// (rearm <= fire). A sustained excursion above the line is one fire, not
+/// one per window — the no-trigger-storm guarantee the burst tests assert.
+class ThresholdTrigger {
+ public:
+  ThresholdTrigger(double fire, double rearm);
+
+  /// Feed one observation; true exactly when an armed crossing happened.
+  bool update(double value) noexcept;
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] std::uint64_t fires() const noexcept { return fires_; }
+
+ private:
+  double fire_;
+  double rearm_;
+  bool armed_ = true;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace carbonedge::serve

@@ -105,7 +105,14 @@ class Telemetry {
   }
   void add_response_sample(double response_ms, double rps_weight) noexcept {
     response_hist_.add(response_ms, rps_weight);
+    if (window_sink_ != nullptr) window_sink_->add(response_ms, rps_weight);
   }
+  /// Secondary histogram fed the same response samples as the run-level one
+  /// (the serving mode's per-window p50/p99 view; the owner resets it at
+  /// window boundaries). Never read by this class and never affects the
+  /// run-level accounting; nullptr detaches. The sink must outlive its
+  /// attachment.
+  void set_window_sink(util::Histogram* sink) noexcept { window_sink_ = sink; }
   /// Replace the response histogram wholesale (the store's deserialization
   /// path, store/codecs.hpp; not used by the simulation engine).
   void set_response_histogram(util::Histogram histogram) noexcept {
@@ -118,6 +125,7 @@ class Telemetry {
  private:
   std::vector<EpochRecord> epochs_;
   util::Histogram response_hist_{0.0, 500.0, 1000};
+  util::Histogram* window_sink_ = nullptr;  // not owned
 };
 
 }  // namespace carbonedge::sim

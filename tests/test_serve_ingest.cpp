@@ -1,0 +1,301 @@
+// Ingest-layer robustness: malformed CSV lines are rejected with their
+// 1-based line number (or skipped-and-counted), late events follow the
+// out-of-order policy, a full bounded queue drops-and-counts without ever
+// blocking the producer, and a stalled export sink degrades to bounded
+// buffering and counted drops while window accounting stays intact.
+#include "serve/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "serve/event_source.hpp"
+#include "serve/export.hpp"
+#include "serve/ingest.hpp"
+
+namespace carbonedge::serve {
+namespace {
+
+std::string csv_with(const std::string& data_lines) {
+  return std::string(CsvEventSource::kCsvHeader) + "\n" + data_lines;
+}
+
+sim::Application test_app(double rps = 4.0) {
+  sim::Application app;
+  app.model = sim::ModelType::kEfficientNetB0;
+  app.origin_site = 0;
+  app.rps = rps;
+  app.latency_limit_rtt_ms = 25.0;
+  app.remaining_epochs = 4;
+  app.state_size_mb = 200.0;
+  return app;
+}
+
+// ------------------------------------------------------------ CSV source --
+
+TEST(CsvEventSource, ParsesArrivalAndFailureLines) {
+  std::istringstream in(csv_with("0.5,arrival,2,ResNet50,4.5,25,12,400,3,,\n"
+                                 "5.0,failure,,,,,,,,1,7\n"));
+  CsvEventSource source(in);
+
+  const auto arrival = source.next();
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(arrival->type, EventType::kArrival);
+  EXPECT_DOUBLE_EQ(arrival->time_hours, 0.5);
+  EXPECT_EQ(arrival->app.model, sim::ModelType::kResNet50);
+  EXPECT_EQ(arrival->app.origin_site, 2u);
+  EXPECT_DOUBLE_EQ(arrival->app.rps, 4.5);
+  EXPECT_DOUBLE_EQ(arrival->app.latency_limit_rtt_ms, 25.0);
+  EXPECT_EQ(arrival->app.remaining_epochs, 12u);
+  EXPECT_DOUBLE_EQ(arrival->app.state_size_mb, 400.0);
+  EXPECT_EQ(arrival->app.max_defer_epochs, 3u);
+
+  const auto failure = source.next();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->type, EventType::kFailure);
+  EXPECT_EQ(failure->failure.site, 1u);
+  EXPECT_EQ(failure->failure.server_id, 7u);
+
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_EQ(source.rejected_lines(), 0u);
+}
+
+TEST(CsvEventSource, RejectsMalformedLinesWithLineNumbers) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"not,enough,cells", "line 2"},
+      {"abc,arrival,0,ResNet50,4,25,12,400,0,,", "line 2"},
+      {"1.0,teleport,0,ResNet50,4,25,12,400,0,,", "line 2"},
+      {"1.0,arrival,0,GPT9,4,25,12,400,0,,", "line 2"},
+      {"1.0,arrival,0,ResNet50,-4,25,12,400,0,,", "line 2"},
+      {"1.0,arrival,0,ResNet50,nan,25,12,400,0,,", "line 2"},
+      {"1.0,failure,,,,,,,,-1,0", "line 2"},
+  };
+  for (const auto& [line, expected] : cases) {
+    SCOPED_TRACE(line);
+    std::istringstream in(csv_with(line + "\n"));
+    CsvEventSource source(in);
+    try {
+      (void)source.next();
+      FAIL() << "expected rejection";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(expected), std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(CsvEventSource, SecondBadLineReportsItsOwnNumber) {
+  std::istringstream in(csv_with("0.5,arrival,0,ResNet50,4,25,12,400,0,,\n"
+                                 "bogus\n"));
+  CsvEventSource source(in);
+  ASSERT_TRUE(source.next().has_value());
+  try {
+    (void)source.next();
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos) << error.what();
+  }
+}
+
+TEST(CsvEventSource, MissingHeaderIsLineOne) {
+  std::istringstream in("0.5,arrival,0,ResNet50,4,25,12,400,0,,\n");
+  CsvEventSource source(in);
+  try {
+    (void)source.next();
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos) << error.what();
+  }
+}
+
+TEST(CsvEventSource, SkipPolicyCountsAndContinues) {
+  std::istringstream in(csv_with("garbage\n"
+                                 "0.5,arrival,0,ResNet50,4,25,12,400,0,,\n"
+                                 "1.0,arrival,0,ResNet50,zzz,25,12,400,0,,\n"
+                                 "2.0,failure,,,,,,,,0,0\n"));
+  CsvEventSource source(in, CsvEventSource::ErrorPolicy::kSkip);
+  const auto first = source.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, EventType::kArrival);
+  const auto second = source.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, EventType::kFailure);
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_EQ(source.rejected_lines(), 2u);
+  EXPECT_NE(source.last_error().find("line 4"), std::string::npos) << source.last_error();
+}
+
+// ---------------------------------------------------------- ingest queue --
+
+TEST(IngestQueue, OverflowDropsAndCountsWithoutBlocking) {
+  IngestQueue queue(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    const bool accepted = queue.push(make_arrival(static_cast<double>(i), test_app()));
+    EXPECT_EQ(accepted, i < 4);
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.stats().accepted, 4u);
+  EXPECT_EQ(queue.stats().dropped_overflow, 6u);
+}
+
+TEST(IngestQueue, DropPolicyRejectsStaleEvents) {
+  IngestQueue queue(/*capacity=*/16, OutOfOrderPolicy::kDrop);
+  queue.set_watermark(5.0);
+  EXPECT_FALSE(queue.push(make_arrival(4.9, test_app())));
+  EXPECT_TRUE(queue.push(make_arrival(5.0, test_app())));
+  EXPECT_EQ(queue.stats().dropped_stale, 1u);
+  EXPECT_EQ(queue.stats().accepted, 1u);
+}
+
+TEST(IngestQueue, ClampPolicyPullsStaleEventsForward) {
+  IngestQueue queue(/*capacity=*/16, OutOfOrderPolicy::kClamp);
+  queue.set_watermark(5.0);
+  EXPECT_TRUE(queue.push(make_arrival(3.0, test_app())));
+  EXPECT_EQ(queue.stats().clamped_stale, 1u);
+  const auto event = queue.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_DOUBLE_EQ(event->time_hours, 5.0);  // clamped to the watermark
+}
+
+TEST(IngestQueue, ProducerNeverBlocksAgainstConcurrentConsumer) {
+  // A producer pushing far past capacity must always run to completion;
+  // accepted + dropped reconciles with the attempt count. (Under the TSan
+  // CI job this also exercises the queue's locking.)
+  constexpr std::uint64_t kEvents = 20000;
+  IngestQueue queue(/*capacity=*/64);
+  std::atomic<bool> done{false};
+  std::uint64_t popped = 0;
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire) || queue.size() > 0) {
+      if (queue.pop().has_value()) {
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    (void)queue.push(make_arrival(static_cast<double>(i), test_app()));
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  const IngestStats stats = queue.stats();
+  EXPECT_EQ(stats.accepted + stats.dropped_overflow, kEvents);
+  EXPECT_EQ(popped, stats.accepted);
+}
+
+// -------------------------------------------------------- export degrade --
+
+/// A sink that can be stalled and recovered on demand.
+class FlakySink final : public ByteSink {
+ public:
+  bool accepting = true;
+  std::vector<std::string> lines;
+  [[nodiscard]] bool write(std::string_view line) override {
+    if (!accepting) return false;
+    lines.emplace_back(line);
+    return true;
+  }
+};
+
+WindowStats window_numbered(std::uint32_t index) {
+  WindowStats w;
+  w.window = index;
+  w.epochs = 1;
+  return w;
+}
+
+TEST(WindowCsvExporter, StallBuffersInOrderThenDropsBeyondBound) {
+  FlakySink sink;
+  WindowCsvExporter exporter(sink, /*max_buffered=*/2);
+
+  exporter.export_window(window_numbered(0));
+  ASSERT_EQ(sink.lines.size(), 2u);  // header + row 0
+  EXPECT_EQ(sink.lines[0], WindowCsvExporter::header_line());
+
+  sink.accepting = false;
+  exporter.export_window(window_numbered(1));
+  exporter.export_window(window_numbered(2));
+  exporter.export_window(window_numbered(3));  // beyond the buffer: dropped
+  EXPECT_EQ(exporter.stats().lines_dropped, 1u);
+  EXPECT_EQ(exporter.stats().currently_buffered, 2u);
+  EXPECT_EQ(exporter.stats().buffered_peak, 2u);
+
+  sink.accepting = true;
+  exporter.export_window(window_numbered(4));
+  // Recovery delivers the buffered rows first, in window order; row 3 is
+  // the only loss.
+  ASSERT_EQ(sink.lines.size(), 5u);
+  EXPECT_EQ(sink.lines[2].substr(0, 2), "1,");
+  EXPECT_EQ(sink.lines[3].substr(0, 2), "2,");
+  EXPECT_EQ(sink.lines[4].substr(0, 2), "4,");
+  EXPECT_EQ(exporter.stats().currently_buffered, 0u);
+  EXPECT_EQ(exporter.stats().lines_written, 5u);
+}
+
+TEST(WindowCsvExporter, FlushRetriesAfterRecovery) {
+  FlakySink sink;
+  WindowCsvExporter exporter(sink, /*max_buffered=*/4);
+  sink.accepting = false;
+  exporter.export_window(window_numbered(0));
+  EXPECT_EQ(exporter.stats().lines_written, 0u);
+  sink.accepting = true;
+  exporter.flush();
+  EXPECT_EQ(exporter.stats().lines_written, 2u);  // header + row
+  EXPECT_EQ(exporter.stats().currently_buffered, 0u);
+}
+
+TEST(EventLoop, StalledSinkLosesVisibilityNeverAccounting) {
+  const geo::Region region = geo::florida_region();
+  carbon::CarbonIntensityService service;
+  service.add_region(region);
+  core::EdgeSimulation simulation(
+      sim::make_uniform_cluster(region, 1, sim::DeviceType::kA2), service);
+
+  core::SimulationConfig config;
+  config.policy = core::PolicyConfig::carbon_edge();
+  config.epochs = 16;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.seed = 42;
+
+  ServeConfig serve_config;
+  serve_config.sim = config;
+  serve_config.window_epochs = 2;
+
+  // Baseline: same replay with no exporter at all.
+  TraceReplaySource baseline_source(config.workload, simulation.pristine_cluster(),
+                                    config.epochs, config.epoch_hours);
+  EventLoop baseline_loop(simulation, serve_config);
+  const ServeResult baseline = baseline_loop.run(baseline_source);
+
+  // Stalled run: the sink refuses everything, the buffer holds one line.
+  FlakySink sink;
+  sink.accepting = false;
+  WindowCsvExporter exporter(sink, /*max_buffered=*/1);
+  TraceReplaySource source(config.workload, simulation.pristine_cluster(), config.epochs,
+                           config.epoch_hours);
+  EventLoop loop(simulation, serve_config);
+  const ServeResult stalled = loop.run(source, &exporter);
+
+  EXPECT_EQ(stalled.exports.lines_written, 0u);
+  EXPECT_GT(stalled.exports.lines_dropped, 0u);
+  EXPECT_EQ(stalled.exports.currently_buffered, 1u);
+
+  // Window accounting is identical to the exporter-free run.
+  ASSERT_EQ(stalled.windows.size(), baseline.windows.size());
+  for (std::size_t i = 0; i < stalled.windows.size(); ++i) {
+    EXPECT_EQ(stalled.windows[i].arrivals, baseline.windows[i].arrivals);
+    EXPECT_EQ(stalled.windows[i].apps_placed, baseline.windows[i].apps_placed);
+    EXPECT_EQ(stalled.windows[i].carbon_g, baseline.windows[i].carbon_g);
+    EXPECT_EQ(stalled.windows[i].energy_wh, baseline.windows[i].energy_wh);
+  }
+  EXPECT_EQ(stalled.sim.apps_placed, baseline.sim.apps_placed);
+  EXPECT_EQ(stalled.sim.telemetry.total_carbon_g(),
+            baseline.sim.telemetry.total_carbon_g());
+}
+
+}  // namespace
+}  // namespace carbonedge::serve
