@@ -15,6 +15,7 @@
 #include "carbon/trace_cache.hpp"
 #include "core/simulation.hpp"
 #include "store/sweep_store.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace carbonedge::bench {
@@ -42,8 +43,9 @@ inline carbon::CarbonIntensityService make_service(const geo::Region& region) {
 /// Returns the config unchanged when the variable is absent, so production
 /// runs keep the paper's horizons.
 inline core::SimulationConfig apply_smoke_epochs(core::SimulationConfig config) {
-  if (const char* env = std::getenv("CARBONEDGE_SMOKE_EPOCHS")) {
-    const unsigned long cap = std::strtoul(env, nullptr, 10);
+  const std::string env = util::env::get_or("CARBONEDGE_SMOKE_EPOCHS", "");
+  if (!env.empty()) {
+    const unsigned long cap = std::strtoul(env.c_str(), nullptr, 10);
     if (cap > 0) {
       config.epochs = std::min(config.epochs, static_cast<std::uint32_t>(cap));
     }
@@ -58,8 +60,7 @@ inline core::SimulationConfig apply_smoke_epochs(core::SimulationConfig config) 
 /// argv so harnesses that parse the remaining arguments (google-benchmark)
 /// never see it. Returns nullptr when the store is off.
 inline std::shared_ptr<store::SweepStore> init_store(int& argc, char** argv) {
-  std::string dir;
-  if (const char* env = std::getenv("CARBONEDGE_STORE_DIR")) dir = env;
+  std::string dir = util::env::get_or("CARBONEDGE_STORE_DIR", "");
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--store") == 0 || std::strncmp(arg, "--store=", 8) == 0) {

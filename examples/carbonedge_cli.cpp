@@ -50,6 +50,7 @@
 #include "runner/scenario_runner.hpp"
 #include "serve/event_loop.hpp"
 #include "store/artifact_store.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;
@@ -480,8 +481,7 @@ int cmd_store(int argc, char** argv) {
   // `store [--dir <path>] <subcommand> [args...]`; without --dir the
   // directory comes from CARBONEDGE_STORE_DIR.
   std::vector<std::string> args(argv + 2, argv + argc);
-  std::string dir;
-  if (const char* env = std::getenv("CARBONEDGE_STORE_DIR")) dir = env;
+  std::string dir = util::env::get_or("CARBONEDGE_STORE_DIR", "");
   if (args.size() >= 2 && args[0] == "--dir") {
     dir = args[1];
     args.erase(args.begin(), args.begin() + 2);

@@ -12,9 +12,11 @@ PlacementResult PlacementService::place(const PlacementInput& input,
   PlacementResult result;
   if (apps.empty()) return result;
 
+  // lint: nondeterminism-ok(telemetry-only solve timing; feeds solve_time_ms, never a decision)
   const auto t0 = std::chrono::steady_clock::now();
   BuiltProblem built = build_problem(input, apps, policy_);
   const solver::AssignmentSolution solution = solver::solve_auto(built.problem, options_);
+  // lint: nondeterminism-ok(telemetry-only solve timing; feeds solve_time_ms, never a decision)
   const auto t1 = std::chrono::steady_clock::now();
   result.solve_time_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.objective = solution.total_cost;

@@ -116,6 +116,7 @@ sim::EdgeServer& SimulationEngine::find_server(std::size_t site, std::uint32_t s
 void SimulationEngine::snapshot_hosted() {
   hosted_snapshot_.clear();
   hosted_snapshot_.reserve(hosted_.size());
+  // lint: unordered-iteration-ok(this IS the serial snapshot: all hosted_ mutations happen on the stepping thread, so bucket order is a pure function of the deterministic insert/erase history — identical for every lane count)
   for (const auto& [id, entry] : hosted_) hosted_snapshot_.emplace_back(id, &entry);
 }
 
@@ -125,6 +126,7 @@ void SimulationEngine::crash_server(std::size_t site, sim::EdgeServer& server,
   // Re-batch the apps that were on the crashed server. Marking them
   // displaced keeps them alive (retried, never counted as fresh
   // rejections) if the shrunken cluster cannot re-place them at once.
+  // lint: unordered-iteration-ok(coordinator-only erase walk; bucket order determines batch order, which is itself a deterministic function of the insert/erase history — no fp accumulation here)
   for (auto it = hosted_.begin(); it != hosted_.end();) {
     if (it->second.site == site && it->second.server == server.id()) {
       displaced_from_.insert_or_assign(it->first, kNoAccountedSite);
@@ -237,6 +239,7 @@ void SimulationEngine::step(std::vector<sim::Application> arrivals,
   // 2. Departures. Guarded decrement: an application admitted with
   // remaining_epochs == 0 departs immediately instead of underflowing to
   // ~4B epochs and becoming immortal.
+  // lint: unordered-iteration-ok(coordinator-only erase walk over deterministic bucket order; evictions commute and nothing is accumulated in fp)
   for (auto it = hosted_.begin(); it != hosted_.end();) {
     if (it->second.app.remaining_epochs <= 1) {
       find_server(it->second.site, it->second.server).evict(it->first);

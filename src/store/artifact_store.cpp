@@ -10,6 +10,8 @@
 #include <system_error>
 #include <vector>
 
+#include "util/env.hpp"
+
 namespace carbonedge::store {
 
 namespace {
@@ -45,8 +47,8 @@ ArtifactStore::ArtifactStore(std::filesystem::path root) : root_(std::move(root)
 }
 
 std::shared_ptr<ArtifactStore> ArtifactStore::open_from_env() {
-  const char* dir = std::getenv("CARBONEDGE_STORE_DIR");
-  if (dir == nullptr || *dir == '\0') return nullptr;
+  const std::string dir = util::env::get_or("CARBONEDGE_STORE_DIR", "");
+  if (dir.empty()) return nullptr;
   return std::make_shared<ArtifactStore>(std::filesystem::path(dir));
 }
 
@@ -177,6 +179,7 @@ ArtifactStore::GcReport ArtifactStore::gc(std::uintmax_t max_bytes) const {
   // rename fail. Atomic publishes take milliseconds, so minutes of slack is
   // generous.
   constexpr auto kTempGraceLimit = std::chrono::minutes(10);
+  // lint: nondeterminism-ok(gc grace period is wall-clock by design; never touches simulation output)
   const auto now = std::filesystem::file_time_type::clock::now();
   for (const ArtifactKind kind : kAllKinds) {
     std::error_code ec;

@@ -1,0 +1,55 @@
+#include "util/env.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace carbonedge::util::env {
+
+namespace {
+
+struct Cache {
+  std::mutex mutex;
+  std::map<std::string, std::optional<std::string>, std::less<>> values;
+};
+
+Cache& cache() {
+  static Cache instance;
+  return instance;
+}
+
+std::atomic<std::size_t>& read_counter() {
+  static std::atomic<std::size_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+std::optional<std::string> get(std::string_view name) {
+  Cache& c = cache();
+  const std::scoped_lock lock(c.mutex);
+  const auto it = c.values.find(name);
+  if (it != c.values.end()) return it->second;
+  // The one sanctioned host-environment read (allowlisted for lint rule D5);
+  // serialized by the cache mutex, and never concurrent with setenv — the
+  // project itself only calls setenv in tests, before the variable's first
+  // lookup. NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* raw = std::getenv(std::string(name).c_str());
+  read_counter().fetch_add(1, std::memory_order_relaxed);
+  std::optional<std::string> value;
+  if (raw != nullptr) value = std::string(raw);
+  c.values.emplace(std::string(name), value);
+  return value;
+}
+
+std::string get_or(std::string_view name, std::string_view fallback) {
+  std::optional<std::string> value = get(name);
+  return value.has_value() ? *std::move(value) : std::string(fallback);
+}
+
+std::size_t host_reads() noexcept {
+  return read_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace carbonedge::util::env

@@ -2,17 +2,26 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
+#include <string>
 #include <thread>
+
+#include "util/env.hpp"
 
 namespace carbonedge::util {
 
-std::size_t configured_thread_count() {
-  if (const char* env = std::getenv("CARBONEDGE_THREADS")) {
+std::size_t parse_thread_count(const char* value) noexcept {
+  if (value != nullptr) {
     char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end != value && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t configured_thread_count() {
+  const std::optional<std::string> value = env::get("CARBONEDGE_THREADS");
+  return parse_thread_count(value.has_value() ? value->c_str() : nullptr);
 }
 
 ParallelismBudget::ParallelismBudget(std::size_t total_lanes)

@@ -23,9 +23,14 @@
 
 namespace carbonedge::util {
 
-/// Total worker lanes the process should use: the CARBONEDGE_THREADS
-/// environment variable when it parses as a positive integer, otherwise
+/// Parses a CARBONEDGE_THREADS-style value: a positive integer wins,
+/// anything else (null, empty, zero, garbage, trailing junk) falls back to
 /// hardware concurrency (at least 1).
+[[nodiscard]] std::size_t parse_thread_count(const char* value) noexcept;
+
+/// Total worker lanes the process should use: parse_thread_count applied to
+/// the CARBONEDGE_THREADS environment variable, read once per process via
+/// the util::env shim.
 [[nodiscard]] std::size_t configured_thread_count();
 
 class ParallelismBudget {

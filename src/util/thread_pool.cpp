@@ -30,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::on_worker_thread() const noexcept {
+  // lint: nondeterminism-ok(membership test for nested-submit deadlock avoidance; ids are compared, never ordered or emitted)
   const std::thread::id self = std::this_thread::get_id();
   for (const std::thread& worker : workers_) {
     if (worker.get_id() == self) return true;

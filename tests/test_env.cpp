@@ -1,0 +1,96 @@
+// util::env shim contract: every environment read in the tree funnels
+// through one audited call point (lint rule D5), and each variable is read
+// from the host environment at most once per process — the first lookup
+// snapshots the value; later setenv() calls are invisible. host_reads()
+// counts distinct host reads so the at-most-once contract is assertable.
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace carbonedge {
+namespace {
+
+// Each test uses a distinct variable name: the shim's cache is process-wide
+// by design, so a name consulted once is pinned for every later test.
+
+TEST(EnvShim, ReadsEachVariableAtMostOncePerProcess) {
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_ONCE", "first", 1), 0);
+  const std::size_t before = util::env::host_reads();
+
+  const auto first = util::env::get("CARBONEDGE_TEST_ONCE");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "first");
+  EXPECT_EQ(util::env::host_reads(), before + 1);
+
+  // A later setenv is invisible: the cached snapshot answers, and the host
+  // environment is not consulted again.
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_ONCE", "second", 1), 0);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = util::env::get("CARBONEDGE_TEST_ONCE");
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, "first");
+  }
+  EXPECT_EQ(util::env::host_reads(), before + 1);
+}
+
+TEST(EnvShim, UnsetVariablesAreCachedAsUnset) {
+  ASSERT_EQ(unsetenv("CARBONEDGE_TEST_ABSENT"), 0);
+  const std::size_t before = util::env::host_reads();
+
+  EXPECT_FALSE(util::env::get("CARBONEDGE_TEST_ABSENT").has_value());
+  EXPECT_EQ(util::env::host_reads(), before + 1);
+
+  // Negative results are snapshots too: setting the variable afterwards
+  // does not resurrect it, and costs no further host reads.
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_ABSENT", "late", 1), 0);
+  EXPECT_FALSE(util::env::get("CARBONEDGE_TEST_ABSENT").has_value());
+  EXPECT_EQ(util::env::host_reads(), before + 1);
+}
+
+TEST(EnvShim, GetOrFallsBackOnlyWhenUnset) {
+  ASSERT_EQ(unsetenv("CARBONEDGE_TEST_MISSING"), 0);
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_MISSING", "fallback"), "fallback");
+
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_SET", "value", 1), 0);
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_SET", "fallback"), "value");
+
+  // Empty-but-set is a real value, not an absence.
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_EMPTY", "", 1), 0);
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_EMPTY", "fallback"), "");
+}
+
+TEST(EnvShim, DistinctVariablesCostOneHostReadEach) {
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_A", "a", 1), 0);
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_B", "b", 1), 0);
+  const std::size_t before = util::env::host_reads();
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_A", ""), "a");
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_B", ""), "b");
+  EXPECT_EQ(util::env::get_or("CARBONEDGE_TEST_A", ""), "a");
+  EXPECT_EQ(util::env::host_reads(), before + 2);
+}
+
+TEST(EnvShim, ConcurrentFirstLookupsStillReadTheHostOnce) {
+  ASSERT_EQ(setenv("CARBONEDGE_TEST_RACE", "shared", 1), 0);
+  const std::size_t before = util::env::host_reads();
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        const auto value = util::env::get("CARBONEDGE_TEST_RACE");
+        ASSERT_TRUE(value.has_value());
+        EXPECT_EQ(*value, "shared");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(util::env::host_reads(), before + 1);
+}
+
+}  // namespace
+}  // namespace carbonedge

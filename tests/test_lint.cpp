@@ -1,0 +1,371 @@
+// Golden-snippet tests for carbonedge_lint: every rule must both fire on
+// its target construct and stay quiet on the determinism-safe spelling —
+// including that matches inside comments, string literals, and raw strings
+// never false-positive, and that the suppression machinery (annotations +
+// allowlist) is itself validated (unused suppressions are errors).
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace carbonedge::lint {
+namespace {
+
+std::vector<Finding> lint_one(const std::string& path, const std::string& content) {
+  std::vector<SourceFile> files{{path, content}};
+  std::vector<AllowlistEntry> allowlist;
+  return run_lint(files, allowlist);
+}
+
+std::vector<Finding> lint_many(std::vector<SourceFile> files) {
+  std::vector<AllowlistEntry> allowlist;
+  return run_lint(files, allowlist);
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ----------------------------------------------------------------- lexer --
+
+TEST(LintLexer, BlanksCommentsAndLiteralsButKeepsLineStructure) {
+  const std::string src =
+      "int a; // std::rand()\n"
+      "/* std::rand()\n   spans lines */ int b;\n"
+      "const char* s = \"std::rand()\";\n";
+  const std::string stripped = strip_comments_and_literals(src);
+  EXPECT_EQ(stripped.size(), src.size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringsAreBlanked) {
+  const std::string src = "auto s = R\"(std::rand() time(nullptr))\"; int ok;\n";
+  const std::string stripped = strip_comments_and_literals(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int ok;"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringWithDelimiterAndEmbeddedQuote) {
+  const std::string src =
+      "auto s = R\"x(quote \" and )\" inside)x\"; srand(7);\n";
+  const std::string stripped = strip_comments_and_literals(src);
+  // The fake terminator )" inside the delimited raw string must not end it:
+  // the srand after the real terminator survives stripping.
+  EXPECT_NE(stripped.find("srand(7)"), std::string::npos);
+  EXPECT_EQ(stripped.find("quote"), std::string::npos);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  const std::string src = "const int n = 1'000'000; std::rand();\n";
+  EXPECT_NE(strip_comments_and_literals(src).find("rand"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- D1 --
+
+TEST(LintD1, FiresOnEveryBannedPrimitive) {
+  const char* bad[] = {
+      "int f() { return std::rand(); }\n",
+      "#include <random>\nstd::random_device dev;\n",
+      "auto t = std::chrono::steady_clock::now();\n",
+      "auto t = std::chrono::system_clock::now();\n",
+      "auto t = std::filesystem::file_time_type::clock::now();\n",
+      "auto t = time(nullptr);\n",
+      "auto t = time(NULL);\n",
+      "auto id = std::this_thread::get_id();\n",
+      "#include <map>\nstd::map<const int*, double> by_ptr;\n",
+      "#include <set>\nstd::set<Widget*> live;\n",
+  };
+  for (const char* snippet : bad) {
+    const auto findings = lint_one("src/x.cpp", snippet);
+    EXPECT_TRUE(has_rule(findings, "D1")) << snippet;
+  }
+}
+
+TEST(LintD1, QuietOnDeterministicSpellings) {
+  const std::string src =
+      "#include <map>\n"
+      "util::Rng rng(config.seed);\n"
+      "std::map<std::pair<std::size_t, int>, double> by_id;\n"
+      "auto d = std::chrono::minutes(10);\n"
+      "double remaining_time(int epochs);\n"  // 'time' as a plain identifier
+      "auto v = remaining_time(3);\n";
+  EXPECT_FALSE(has_rule(lint_one("src/x.cpp", src), "D1"));
+}
+
+TEST(LintD1, NeverFiresInsideCommentsOrStrings) {
+  const std::string src =
+      "// std::rand() and time(nullptr) and steady_clock::now()\n"
+      "/* std::random_device across\n   lines */\n"
+      "const char* s = \"std::rand() time(nullptr)\";\n"
+      "const char* r = R\"(this_thread::get_id())\";\n"
+      "int clean;\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", src).empty());
+}
+
+TEST(LintD1, SuppressedOnSameLineAndFromLineAbove) {
+  const std::string same_line =
+      "auto t0 = std::chrono::steady_clock::now();  // lint: nondeterminism-ok(telemetry only)\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", same_line).empty());
+  const std::string line_above =
+      "// lint: nondeterminism-ok(telemetry only)\n"
+      "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", line_above).empty());
+}
+
+// ------------------------------------------------------------------- D2 --
+
+TEST(LintD2, FiresOnRangeForAndBeginLoops) {
+  const std::string range_for =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> acc_;\n"
+      "double total() { double t = 0; for (const auto& [k, v] : acc_) t += v; return t; }\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", range_for), "D2"));
+
+  const std::string begin_loop =
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen_;\n"
+      "void f() { for (auto it = seen_.begin(); it != seen_.end(); ++it) {} }\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", begin_loop), "D2"));
+}
+
+TEST(LintD2, SeesMembersDeclaredInTheHeaderIteratedInTheCpp) {
+  std::vector<SourceFile> files{
+      {"src/cache.hpp",
+       "#pragma once\n#include <unordered_map>\n"
+       "struct Cache { std::unordered_map<int, int> entries_; };\n"},
+      {"src/cache.cpp", "void dump(Cache& c) { for (const auto& [k, v] : c.entries_) {} }\n"},
+  };
+  const auto findings = lint_many(std::move(files));
+  ASSERT_TRUE(has_rule(findings, "D2"));
+  EXPECT_EQ(findings.front().file, "src/cache.cpp");
+}
+
+TEST(LintD2, QuietOnLookupsSnapshotsAndAnnotatedIteration) {
+  const std::string lookups =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> acc_;\n"
+      "double g(int k) { return acc_.at(k); }\n"
+      "bool h(int k) { return acc_.find(k) != acc_.end(); }\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", lookups).empty());
+
+  const std::string snapshot_vector =
+      "#include <vector>\n"
+      "std::vector<int> snapshot_;\n"
+      "void f() { for (int v : snapshot_) {} }\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", snapshot_vector).empty());
+
+  const std::string annotated =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> acc_;\n"
+      "// lint: unordered-iteration-ok(coordinator-only snapshot build)\n"
+      "void f() { for (const auto& [k, v] : acc_) {} }\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", annotated).empty());
+}
+
+// ------------------------------------------------------------------- D3 --
+
+TEST(LintD3, FiresOnRngDrawInInlineParallelLambda) {
+  const std::string src =
+      "void step() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    slots_[k] = rng.bernoulli(0.5);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D3"));
+}
+
+TEST(LintD3, FiresOnSharedMutationViaNamedLambda) {
+  const std::string src =
+      "void sweep() {\n"
+      "  const auto body = [&](std::size_t i) {\n"
+      "    total_ += weigh(i);\n"
+      "    log_.push_back(i);\n"
+      "  };\n"
+      "  util::parallel_for(pool, 0, n, body, 1);\n"
+      "}\n";
+  const auto findings = lint_one("src/x.cpp", src);
+  EXPECT_EQ(count_rule(findings, "D3"), 2u);  // += and push_back
+}
+
+TEST(LintD3, QuietOnDisjointSlotWritesAndOutsideParallelSections) {
+  const std::string disjoint =
+      "void step() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    slots_[k] = compute(k);\n"
+      "    local_sum[k] = slots_[k] * 2.0;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", disjoint).empty());
+
+  const std::string serial =
+      "void coordinator() {\n"
+      "  total_ += rng.bernoulli(0.5);\n"  // fine: not a parallel section
+      "  samples_.push_back(1);\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", serial).empty());
+}
+
+TEST(LintD3, FiresInSubmitLambdaAndHonorsAnnotation) {
+  const std::string src =
+      "void f() {\n"
+      "  pool.submit([&] { counter_ += 1; });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D3"));
+
+  const std::string annotated =
+      "void f() {\n"
+      "  // lint: parallel-state-ok(counter_ is atomic; relaxed telemetry only)\n"
+      "  pool.submit([&] { counter_ += 1; });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", annotated).empty());
+}
+
+// ------------------------------------------------------------------- D4 --
+
+TEST(LintD4, FloatBannedOnlyInAccountingPaths) {
+  const std::string src = "float share = 0.5f;\n";
+  EXPECT_TRUE(has_rule(lint_one("src/sim/x.cpp", src), "D4"));
+  EXPECT_TRUE(has_rule(lint_one("src/core/x.hpp", src), "D4"));
+  EXPECT_FALSE(has_rule(lint_one("src/geo/x.cpp", src), "D4"));
+  EXPECT_FALSE(has_rule(lint_one("bench/x.cpp", src), "D4"));
+  // 'float' in comments/identifiers stays quiet.
+  const std::string quiet =
+      "// float-boundary drift\ndouble floating_share;\n";
+  EXPECT_TRUE(lint_one("src/sim/x.cpp", quiet).empty());
+}
+
+// ------------------------------------------------------------------- D5 --
+
+TEST(LintD5, GetenvFiresEverywhereIncludingStdQualified) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/x.cpp", "const char* v = std::getenv(\"HOME\");\n"), "D5"));
+  EXPECT_TRUE(has_rule(lint_one("bench/x.cpp", "const char* v = getenv(\"HOME\");\n"), "D5"));
+  // The shim's API is the clean spelling.
+  EXPECT_TRUE(
+      lint_one("src/x.cpp", "auto v = util::env::get_or(\"CARBONEDGE_THREADS\", \"\");\n")
+          .empty());
+}
+
+// ------------------------------------------------------------------- H1 --
+
+TEST(LintH1, HeaderHygiene) {
+  EXPECT_TRUE(has_rule(lint_one("src/x.hpp", "int f();\n"), "H1"));  // no pragma once
+  EXPECT_TRUE(has_rule(
+      lint_one("src/x.hpp", "#pragma once\nusing namespace std;\n"), "H1"));
+  EXPECT_TRUE(lint_one("src/x.hpp", "#pragma once\nint f();\n").empty());
+  // .cpp files are exempt from both checks.
+  EXPECT_TRUE(lint_one("src/x.cpp", "using namespace std;\nint f() { return 1; }\n").empty());
+}
+
+// ----------------------------------------------------- suppression audit --
+
+TEST(LintSuppressions, UnusedAnnotationIsReported) {
+  const std::string src =
+      "// lint: nondeterminism-ok(stale reason, nothing here anymore)\n"
+      "int clean;\n";
+  const auto findings = lint_one("src/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "LINT");
+  EXPECT_NE(findings[0].message.find("unused suppression"), std::string::npos);
+}
+
+TEST(LintSuppressions, MalformedAnnotationsAreReported) {
+  for (const char* src : {
+           "// lint: nondeterminism-ok\nint a = time(nullptr);\n",     // missing reason
+           "// lint: nondeterminism-ok()\nint a = time(nullptr);\n",   // empty reason
+           "// lint: no-such-token(reason)\nint a = time(nullptr);\n"  // unknown token
+       }) {
+    const auto findings = lint_one("src/x.cpp", src);
+    EXPECT_TRUE(has_rule(findings, "LINT")) << src;
+    EXPECT_TRUE(has_rule(findings, "D1")) << src;  // broken hatch suppresses nothing
+  }
+}
+
+TEST(LintSuppressions, AnnotationInsideAStringLiteralIsNotAnAnnotation) {
+  const std::string src =
+      "const char* s = \"// lint: nondeterminism-ok(fake)\";\n"
+      "auto t = time(nullptr);\n";
+  const auto findings = lint_one("src/x.cpp", src);
+  EXPECT_TRUE(has_rule(findings, "D1"));  // the fake annotation suppressed nothing
+  EXPECT_FALSE(has_rule(findings, "LINT"));
+}
+
+TEST(LintSuppressions, WrongTokenDoesNotSuppressOtherRules) {
+  const std::string src =
+      "// lint: getenv-ok(wrong rule for a clock read)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto findings = lint_one("src/x.cpp", src);
+  EXPECT_TRUE(has_rule(findings, "D1"));   // still fires
+  EXPECT_TRUE(has_rule(findings, "LINT"));  // and the annotation is unused
+}
+
+// --------------------------------------------------------------- allowlist --
+
+TEST(LintAllowlist, EntrySuppressesAndUnusedEntryIsAnError) {
+  std::vector<SourceFile> files{
+      {"src/x.cpp", "const char* v = std::getenv(\"HOME\");\n"}};
+  std::vector<Finding> parse_errors;
+  std::vector<AllowlistEntry> allowlist = parse_allowlist(
+      "# comment line\n"
+      "\n"
+      "D5 src/x.cpp legacy read, migration tracked elsewhere\n"
+      "D1 src/never.cpp stale entry that matches nothing\n",
+      "allowlist", parse_errors);
+  EXPECT_TRUE(parse_errors.empty());
+  ASSERT_EQ(allowlist.size(), 2u);
+
+  const auto findings = run_lint(files, allowlist);
+  EXPECT_FALSE(has_rule(findings, "D5"));  // suppressed by the first entry
+  EXPECT_TRUE(allowlist[0].used);
+  EXPECT_FALSE(allowlist[1].used);
+  ASSERT_EQ(count_rule(findings, "LINT"), 1u);  // the stale entry is reported
+  EXPECT_NE(findings.back().message.find("unused allowlist entry"), std::string::npos);
+}
+
+TEST(LintAllowlist, MalformedEntriesAreParseErrors) {
+  std::vector<Finding> errors;
+  const auto entries = parse_allowlist(
+      "D9 src/x.cpp unknown rule id\n"
+      "D5\n"
+      "D5 src/x.cpp\n",
+      "allowlist", errors);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+// ------------------------------------------------------------ diagnostics --
+
+TEST(LintOutput, FormatIsFileLineRuleMessage) {
+  const auto findings = lint_one("src/sim/x.cpp", "float f;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(format(findings[0]).rfind("src/sim/x.cpp:1: D4: ", 0), 0u);
+}
+
+TEST(LintOutput, FindingsAreSortedByFileThenLine) {
+  std::vector<SourceFile> files{
+      {"src/b.cpp", "auto t = time(nullptr);\nauto u = time(nullptr);\n"},
+      {"src/a.cpp", "auto t = time(nullptr);\n"},
+  };
+  const auto findings = lint_many(std::move(files));
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/a.cpp");
+  EXPECT_EQ(findings[1].file, "src/b.cpp");
+  EXPECT_EQ(findings[1].line, 1u);
+  EXPECT_EQ(findings[2].line, 2u);
+}
+
+}  // namespace
+}  // namespace carbonedge::lint

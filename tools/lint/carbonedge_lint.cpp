@@ -1,0 +1,110 @@
+// carbonedge_lint CLI: walk src/, examples/, and bench/ under --root, run
+// the determinism rules (see lint.hpp), print `file:line: rule-id: message`
+// per finding, and exit nonzero on any finding. The checked-in allowlist is
+// loaded from <root>/tools/lint/allowlist.txt unless overridden.
+//
+//   carbonedge_lint [--root DIR] [--allowlist FILE|-] [dir...]
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using carbonedge::lint::AllowlistEntry;
+using carbonedge::lint::Finding;
+using carbonedge::lint::SourceFile;
+
+[[nodiscard]] bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".hh" || ext == ".h";
+}
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::cerr << "usage: carbonedge_lint [--root DIR] [--allowlist FILE|-] [dir...]\n"
+            << "  Lints DIR-relative dirs (default: src examples bench) and exits\n"
+            << "  nonzero on any finding. `--allowlist -` disables the allowlist.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string allowlist_arg;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_arg = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "examples", "bench"};
+
+  std::vector<SourceFile> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      std::cerr << "carbonedge_lint: not a directory: " << base.string() << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      const std::string label = fs::relative(entry.path(), root).generic_string();
+      files.push_back({label, read_file(entry.path())});
+    }
+  }
+  // Deterministic diagnostics regardless of directory enumeration order.
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+
+  std::vector<Finding> findings;
+  std::vector<AllowlistEntry> allowlist;
+  fs::path allowlist_path = root / "tools" / "lint" / "allowlist.txt";
+  if (!allowlist_arg.empty()) allowlist_path = allowlist_arg;
+  if (allowlist_arg != "-") {
+    std::error_code ec;
+    if (fs::is_regular_file(allowlist_path, ec)) {
+      allowlist = carbonedge::lint::parse_allowlist(
+          read_file(allowlist_path), allowlist_path.generic_string(), findings);
+    } else if (!allowlist_arg.empty()) {
+      std::cerr << "carbonedge_lint: allowlist not found: " << allowlist_path.string()
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Finding> lint = carbonedge::lint::run_lint(files, allowlist);
+  findings.insert(findings.end(), lint.begin(), lint.end());
+  for (const Finding& finding : findings) {
+    std::cout << carbonedge::lint::format(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "carbonedge_lint: " << findings.size() << " finding(s) across "
+              << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "carbonedge_lint: " << files.size() << " files clean ("
+            << allowlist.size() << " allowlist entries, all used)\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// carbonedge_lint — a determinism linter for the CarbonEdge tree.
+//
+// The repo's load-bearing guarantee is that sweep, sim, solver, and serve
+// output is byte-identical across CARBONEDGE_THREADS. The TSan job and the
+// determinism smoke gate enforce that dynamically, for the runs they happen
+// to exercise; this linter rejects the known *sources* of nondeterminism at
+// the source level, always, on every file:
+//
+//   D1  banned nondeterminism primitives: std::rand/srand, random_device,
+//       *_clock::now, time(nullptr), this_thread::get_id, and ordered
+//       containers keyed on pointers (iteration order = allocation order).
+//   D2  iteration over unordered_map/unordered_set in any form (range-for
+//       or .begin() loops) must either be the serial-snapshot idiom or
+//       carry a reasoned `// lint: unordered-iteration-ok(...)` annotation
+//       — folding or emitting in bucket order is how fp sums drift.
+//   D3  inside parallel sections (lambdas passed to parallel_items /
+//       parallel_for / ThreadPool::submit, directly or via a named lambda):
+//       no RNG draws (coordinator-only RNG is the PR 5 contract) and no
+//       mutation of shared member state (`name_` identifiers) except
+//       disjoint-slot writes (`name_[index] = ...`).
+//   D4  `float` is banned in the accounting/telemetry layers (src/sim,
+//       src/core): the store codecs and the replay oracle are a bit-exact
+//       double contract.
+//   D5  std::getenv only inside the util::env shim, so every environment
+//       input the process reads is auditable in one place.
+//   H1  header hygiene: `#pragma once` required, `using namespace` banned
+//       in headers.
+//
+// Findings are suppressible only with a reasoned in-source annotation
+//
+//   // lint: <token>(<reason>)
+//
+// on the finding's line or the line directly above it, or with an entry in
+// the checked-in allowlist (`<rule> <path> <reason>` per line). Suppression
+// tokens: nondeterminism-ok (D1), unordered-iteration-ok (D2),
+// parallel-state-ok (D3), float-ok (D4), getenv-ok (D5), header-ok (H1).
+// The tool validates its own escape hatches: a malformed annotation, an
+// unknown token, an empty reason, or a suppression that matches no finding
+// is itself an error (rule id LINT), so the suppression set can never rot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace carbonedge::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;      // "D1".."D5", "H1", or "LINT" (meta errors)
+  std::string message;
+};
+
+/// "file:line: rule-id: message" — the one diagnostic shape everything emits.
+[[nodiscard]] std::string format(const Finding& finding);
+
+/// A file queued for linting. `path` is the repo-relative label used in
+/// diagnostics, allowlist matching, and the D4 path gate.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One `// lint: <token>(<reason>)` suppression extracted from a comment.
+struct Annotation {
+  std::size_t line = 0;  // line the comment ends on
+  std::string token;
+  std::string reason;
+  bool malformed = false;
+  std::string error;  // set when malformed
+  bool used = false;
+};
+
+/// One `<rule> <path> <reason...>` line of the checked-in allowlist.
+struct AllowlistEntry {
+  std::size_t line = 0;
+  std::string rule;
+  std::string path;
+  std::string reason;
+  bool used = false;
+};
+
+/// Returns `source` with identical length and line structure, but with
+/// comment bodies and string/char/raw-string literal contents blanked to
+/// spaces — the view every rule scans, so nothing inside a comment or
+/// literal can ever fire (or suppress) a rule.
+[[nodiscard]] std::string strip_comments_and_literals(std::string_view source);
+
+/// Extracts lint annotations from comment text only (an annotation spelled
+/// inside a string literal is not an annotation). Malformed annotations are
+/// returned with `malformed` set so the engine can report them.
+[[nodiscard]] std::vector<Annotation> extract_annotations(std::string_view source);
+
+/// Parses the allowlist; malformed lines become LINT findings against
+/// `label`.
+[[nodiscard]] std::vector<AllowlistEntry> parse_allowlist(std::string_view content,
+                                                          std::string_view label,
+                                                          std::vector<Finding>& errors);
+
+/// Lints the whole file set: a first pass collects every unordered-container
+/// variable name in the tree (members declared in a header are iterated in
+/// the matching .cpp), a second pass runs the rules per file, then
+/// annotations and the allowlist are applied and validated. Findings come
+/// back sorted by (file, line) with every unused suppression reported.
+/// `allowlist` may be empty; entries consumed by a finding get `used` set.
+[[nodiscard]] std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                                            std::vector<AllowlistEntry>& allowlist);
+
+}  // namespace carbonedge::lint
