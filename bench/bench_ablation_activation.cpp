@@ -8,8 +8,14 @@
 // DeviceMix's initially_off_per_site and the power-manager config) merged
 // into one ScenarioRunner dispatch.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

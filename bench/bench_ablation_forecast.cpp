@@ -7,9 +7,18 @@
 // month-long cells) dispatched in parallel by the ScenarioRunner; (a) is
 // pure trace arithmetic and stays inline.
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
 
 #include "carbon/forecast.hpp"
+#include "carbon/service.hpp"
+#include "carbon/trace.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 #include "runner/scenario_runner.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -9,8 +9,14 @@
 // Expressed as ScenarioGrid sweeps over the migration-strategy axis,
 // dispatched in parallel by the ScenarioRunner.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -13,7 +13,9 @@
 #include "solver/assignment.hpp"
 #include "solver/decompose.hpp"
 #include "solver/lagrangian.hpp"
+#include "solver/milp.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 using namespace carbonedge::solver;

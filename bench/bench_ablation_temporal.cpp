@@ -11,8 +11,13 @@
 // Expressed as a ScenarioGrid over region x policy x defer-budget (8 two-
 // week cells) dispatched in parallel by the ScenarioRunner.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -3,8 +3,16 @@
 // (Warsaw). Expected shape: Ontario nuclear/hydro-dominated and very clean;
 // Poland coal-dominated and ~an order of magnitude dirtier.
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
+#include "carbon/mix.hpp"
+#include "carbon/source.hpp"
 
 #include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

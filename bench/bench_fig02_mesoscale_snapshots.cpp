@@ -4,8 +4,15 @@
 // 2.2x / 19.5x; expect the same ordering (Central EU >> West US > Florida ~
 // Italy).
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
 
 #include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+#include "geo/city.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -6,6 +6,12 @@
 #include <algorithm>
 
 #include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

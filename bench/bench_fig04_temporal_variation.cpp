@@ -3,10 +3,17 @@
 // the year. Paper call-outs: Flagstaff swings ~300 g/kWh within a day
 // (solar); Kingman changes ~200 g/kWh between March and November.
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
 
 #include <algorithm>
 
 #include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "carbon/zone.hpp"
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -7,6 +7,11 @@
 #include "bench_util.hpp"
 
 #include "analysis/mesoscale.hpp"
+#include "geo/city.hpp"
+#include "geo/coord.hpp"
+#include "geo/latency.hpp"
+#include "geo/region.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -5,6 +5,8 @@
 #include "bench_util.hpp"
 
 #include "sim/app_model.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

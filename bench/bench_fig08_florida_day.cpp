@@ -4,6 +4,14 @@
 // emissions mirror each zone's own intensity; CarbonEdge routes everything
 // through the greenest zone (Miami) and flattens emissions.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/city.hpp"
+#include "geo/region.hpp"
+#include "sim/app_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

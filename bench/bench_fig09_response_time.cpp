@@ -2,6 +2,17 @@
 // vs CarbonEdge. Paper: increases stay below ~10.1 ms with a mean of
 // ~6.61 ms — bounded because mesoscale distances are short.
 #include "bench_util.hpp"
+#include "core/placement_service.hpp"
+#include "core/policy.hpp"
+#include "core/problem.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "sim/app_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "sim/server.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -4,6 +4,13 @@
 // (Central EU); response time rises 6.6 ms and 10.5 ms; the GPU app emits
 // far less in absolute terms but sees the same placement decisions.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "sim/app_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

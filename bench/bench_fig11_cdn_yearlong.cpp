@@ -8,9 +8,15 @@
 // dispatched across all cores by the ScenarioRunner; tables are rebuilt from
 // the row-major outcome order, byte-identical to the former serial loops.
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

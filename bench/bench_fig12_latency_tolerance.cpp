@@ -6,8 +6,15 @@
 // Expressed as a ScenarioGrid over the RTT-limit axis (continent x limit x
 // policy, 24 quarter-long cells) dispatched in parallel by ScenarioRunner.
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -13,8 +13,16 @@
 #include <algorithm>
 
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/city.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -9,8 +9,16 @@
 // population-weighted workload) merged into a single ScenarioRunner
 // dispatch, so all 12 quarter-long cells run concurrently.
 #include "bench_util.hpp"
+#include "carbon/caltime.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -10,8 +10,13 @@
 // all cores by the ScenarioRunner; the 16 cells run concurrently and the
 // tables are rebuilt from the row-major outcome order.
 #include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -10,8 +10,14 @@
 #include <algorithm>
 
 #include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -7,6 +7,19 @@
 #include <sys/resource.h>
 
 #include "bench_util.hpp"
+#include "carbon/service.hpp"
+#include "core/placement_service.hpp"
+#include "core/policy.hpp"
+#include "core/problem.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/latency.hpp"
+#include "geo/region.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "sim/workload.hpp"
+#include "util/parallelism.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 
@@ -112,6 +125,30 @@ void BM_YearlongCellLanes(benchmark::State& state) {
 }
 BENCHMARK(BM_YearlongCellLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// Tees every google-benchmark run into the --bench-json writer (name,
+/// iterations, adjusted real time, user counters) while still printing the
+/// normal console report.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::vector<std::pair<std::string, double>> counters;
+      counters.emplace_back("real_time_ms", run.GetAdjustedRealTime());
+      for (const auto& [name, counter] : run.counters) {
+        counters.emplace_back(name, counter.value);
+      }
+      json_->add_row(run.benchmark_name(), static_cast<std::uint64_t>(run.iterations),
+                     std::move(counters));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJsonWriter* json_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,8 +158,10 @@ int main(int argc, char** argv) {
   // L2 tier instead of re-synthesizing them — a warmed run of this bench
   // performs zero syntheses.
   const auto sweep_store = bench::init_store(argc, argv);
+  bench::BenchJsonWriter json = bench::init_bench_json(argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
 
   // Summary table with the paper's headline checks.
   util::Table table({"Setting", "solve time (ms)", "peak RSS (MB)", "within paper bound"});
@@ -137,8 +176,11 @@ int main(int argc, char** argv) {
                        std::to_string(apps) + " apps",
                    util::format_fixed(ms, 1), util::format_fixed(rss, 0),
                    ms <= 3000.0 && rss <= 200.0 ? "yes" : "NO"});
+    json.add_row("summary/" + std::to_string(servers) + "x" + std::to_string(apps), 1,
+                 {{"solve_ms", ms}, {"peak_rss_mb", rss}});
   }
   table.print(std::cout);
+  json.write();
   bench::print_takeaway(
       "Incremental placement completes well within the paper's 3 s / 200 MB envelope at "
       "400 servers x 140 applications.");

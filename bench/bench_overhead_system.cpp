@@ -4,6 +4,18 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "carbon/service.hpp"
+#include "core/orchestrator.hpp"
+#include "core/placement_service.hpp"
+#include "core/policy.hpp"
+#include "core/problem.hpp"
+#include "geo/latency.hpp"
+#include "geo/region.hpp"
+#include "sim/app_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 

@@ -8,16 +8,26 @@
 // CARBONEDGE_SMOKE_EPOCHS caps the horizon for CI; CI uploads this bench's
 // stdout as the serve-replay throughput artifact.
 #include "bench_util.hpp"
+#include "carbon/service.hpp"
+#include "core/policy.hpp"
+#include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
 
 #include <chrono>
 
 #include "serve/event_loop.hpp"
+#include "serve/event_source.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "util/table.hpp"
 
 using namespace carbonedge;
 
 int main(int argc, char** argv) {
   bench::print_header("Serve replay", "Year-long streaming replay throughput");
   bench::init_store(argc, argv);
+  bench::BenchJsonWriter json = bench::init_bench_json(argc, argv);
 
   core::SimulationConfig config = bench::apply_smoke_epochs(bench::cdn_config());
   config.policy = core::PolicyConfig::carbon_edge();
@@ -58,6 +68,16 @@ int main(int argc, char** argv) {
             << util::format_fixed(
                    seconds > 0.0 ? static_cast<double>(config.epochs) / seconds : 0.0, 1)
             << "\n";
+  json.add_row("serve_replay", 1,
+               {{"epochs", static_cast<double>(config.epochs)},
+                {"events", events},
+                {"events_per_sec", seconds > 0.0 ? events / seconds : 0.0},
+                {"epochs_per_sec",
+                 seconds > 0.0 ? static_cast<double>(config.epochs) / seconds : 0.0},
+                {"wall_s", seconds},
+                {"carbon_g", result.sim.telemetry.total_carbon_g()},
+                {"migrations", static_cast<double>(result.sim.migrations)}});
+  json.write();
   bench::print_takeaway("the streaming path replays a year of arrivals at full engine speed");
   return 0;
 }

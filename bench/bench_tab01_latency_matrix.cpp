@@ -7,6 +7,8 @@
 #include "bench_util.hpp"
 
 #include "geo/latency.hpp"
+#include "geo/region.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace carbonedge;

@@ -4,19 +4,26 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "carbon/caltime.hpp"
+#include "carbon/service.hpp"
 #include "carbon/trace_cache.hpp"
+#include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "sim/app_model.hpp"
+#include "store/artifact_store.hpp"
 #include "store/sweep_store.hpp"
+#include "store/trace_tier.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
 namespace carbonedge::bench {
 
@@ -76,7 +83,7 @@ inline std::shared_ptr<store::SweepStore> init_store(int& argc, char** argv) {
   }
   if (dir.empty()) return nullptr;
   auto artifacts = std::make_shared<store::ArtifactStore>(dir);
-  carbon::TraceCache::global().set_store(artifacts);
+  carbon::TraceCache::global().set_store(store::make_trace_tier(artifacts));
   return std::make_shared<store::SweepStore>(std::move(artifacts));
 }
 
@@ -90,6 +97,73 @@ inline void print_store_stats(const std::shared_ptr<store::SweepStore>& sweeps) 
             << " loaded from disk, " << cache.hits() << " memory hits; sweep cells: "
             << sweeps->stores() << " computed+saved, " << sweeps->hits()
             << " resumed from disk\n";
+}
+
+/// Machine-readable bench results: `--bench-json=PATH` (stripped from argv
+/// like --store, so google-benchmark never sees it) collects one row per
+/// measured configuration — name, iteration count, and named counters (time
+/// in ns, carbon in grams, whatever the bench reports) — and writes them as
+/// one JSON document. CI uploads these as artifacts so perf and carbon
+/// numbers are diffable across commits without scraping console output.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter() = default;
+  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  void add_row(std::string name, std::uint64_t iterations,
+               std::vector<std::pair<std::string, double>> counters) {
+    rows_.push_back({std::move(name), iterations, std::move(counters)});
+  }
+
+  /// Writes all collected rows. Idempotent; a disabled writer is a no-op.
+  void write() const {
+    if (!enabled()) return;
+    std::FILE* out = std::fopen(path_.c_str(), "wb");
+    if (out == nullptr) {
+      std::cerr << "bench-json: cannot open " << path_ << "\n";
+      return;
+    }
+    std::fputs("{\"benchmarks\": [", out);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(out, "%s\n  {\"name\": \"%s\", \"iterations\": %llu",
+                   i == 0 ? "" : ",", row.name.c_str(),
+                   static_cast<unsigned long long>(row.iterations));
+      for (const auto& [key, value] : row.counters) {
+        std::fprintf(out, ", \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fputs("}", out);
+    }
+    std::fputs(rows_.empty() ? "]}\n" : "\n]}\n", out);
+    std::fclose(out);
+    std::cout << "[bench-json] wrote " << rows_.size() << " rows to " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::uint64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// Parses and removes `--bench-json=PATH` from argv (same contract as
+/// init_store). Returns a disabled writer when the flag is absent.
+inline BenchJsonWriter init_bench_json(int& argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      path = argv[i] + 13;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  return BenchJsonWriter(std::move(path));
 }
 
 /// The four evaluation policies in the paper's order (Section 6.1.3).

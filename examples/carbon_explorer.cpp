@@ -11,7 +11,11 @@
 #include <algorithm>
 #include <cctype>
 
+#include "carbon/caltime.hpp"
 #include "carbon/service.hpp"
+#include "carbon/trace.hpp"
+#include "geo/city.hpp"
+#include "geo/coord.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
 #include "util/table.hpp"

@@ -44,13 +44,30 @@
 #include <vector>
 
 #include "analysis/mesoscale.hpp"
+#include "carbon/service.hpp"
+#include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
 #include "carbon/trace_cache.hpp"
 #include "carbon/trace_io.hpp"
+#include "carbon/zone.hpp"
+#include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "geo/city.hpp"
+#include "geo/coord.hpp"
+#include "geo/latency.hpp"
+#include "geo/region.hpp"
+#include "runner/scenario_grid.hpp"
 #include "runner/scenario_runner.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/event_source.hpp"
+#include "serve/export.hpp"
+#include "serve/ingest.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
 #include "store/artifact_store.hpp"
+#include "store/trace_tier.hpp"
 #include "util/env.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;
@@ -404,7 +421,7 @@ int cmd_store_warm(const std::shared_ptr<store::ArtifactStore>& artifacts,
     region_names = {"florida", "west_us", "italy", "central_eu", "cdn_us", "cdn_eu"};
   }
   carbon::TraceCache& cache = carbon::TraceCache::global();
-  cache.set_store(artifacts);
+  cache.set_store(store::make_trace_tier(artifacts));
   const std::uint64_t syntheses_before = cache.syntheses();
   const std::uint64_t disk_before = cache.disk_hits();
   util::Table table({"Region", "Zones"});

@@ -9,7 +9,13 @@
 #include <iostream>
 #include <string>
 
+#include "carbon/service.hpp"
+#include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "geo/coord.hpp"
+#include "geo/region.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

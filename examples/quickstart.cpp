@@ -10,8 +10,14 @@
 
 #include "carbon/service.hpp"
 #include "core/placement_service.hpp"
+#include "core/policy.hpp"
+#include "core/problem.hpp"
+#include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "sim/app_model.hpp"
 #include "sim/datacenter.hpp"
+#include "sim/device.hpp"
+#include "sim/workload.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;

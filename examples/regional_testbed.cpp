@@ -10,7 +10,12 @@
 #include <iostream>
 #include <string>
 
+#include "carbon/service.hpp"
+#include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "geo/region.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;

@@ -7,7 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "carbon/caltime.hpp"
 #include "carbon/service.hpp"
+#include "carbon/synthesizer.hpp"
+#include "carbon/trace.hpp"
+#include "geo/city.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
 #include "util/stats.hpp"

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "carbon/caltime.hpp"
 #include "carbon/trace.hpp"
 
 namespace carbonedge::carbon {

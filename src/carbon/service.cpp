@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "carbon/trace_cache.hpp"
+#include "carbon/zone.hpp"
+#include "geo/city.hpp"
 
 namespace carbonedge::carbon {
 

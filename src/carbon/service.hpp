@@ -8,10 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "carbon/caltime.hpp"
 #include "carbon/forecast.hpp"
 #include "carbon/synthesizer.hpp"
 #include "carbon/trace.hpp"
-#include "carbon/zone.hpp"
 #include "geo/region.hpp"
 
 namespace carbonedge::carbon {

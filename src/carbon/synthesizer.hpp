@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "carbon/caltime.hpp"
 #include "carbon/trace.hpp"
 #include "carbon/zone.hpp"
 

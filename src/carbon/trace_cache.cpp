@@ -1,7 +1,6 @@
 #include "carbon/trace_cache.hpp"
 
-#include "store/artifact_store.hpp"
-#include "store/codecs.hpp"
+#include "util/fs.hpp"
 #include "util/hash.hpp"
 
 namespace carbonedge::carbon {
@@ -28,21 +27,16 @@ std::string TraceCache::key_of(const ZoneSpec& zone, const SynthesizerParams& pa
   return fp.digest().hex();
 }
 
-TraceCache& TraceCache::global() {
-  static TraceCache* cache = [] {
-    auto* instance = new TraceCache();
-    instance->set_store(store::ArtifactStore::open_from_env());
-    return instance;
-  }();
-  return *cache;
-}
+// TraceCache::global() is defined in src/store/trace_tier.cpp: its first-use
+// attach of the CARBONEDGE_STORE_DIR store is store-layer policy, and
+// defining it there keeps this translation unit free of store includes.
 
-void TraceCache::set_store(std::shared_ptr<store::ArtifactStore> store) {
+void TraceCache::set_store(std::shared_ptr<TraceStore> store) {
   const std::lock_guard<std::mutex> lock(mutex_);
   store_ = std::move(store);
 }
 
-std::shared_ptr<store::ArtifactStore> TraceCache::store() const {
+std::shared_ptr<TraceStore> TraceCache::store() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return store_;
 }
@@ -61,22 +55,11 @@ std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
     return it->second;
   }
 
-  // A payload that passes the container checksum but fails to decode
-  // (schema drift, tampering) is treated like a corrupt entry: miss, then
-  // re-synthesize and overwrite.
-  const auto try_decode = [](const std::string& payload) -> std::shared_ptr<const CarbonTrace> {
-    try {
-      return std::make_shared<const CarbonTrace>(store::decode_trace(payload));
-    } catch (const std::exception&) {
-      return nullptr;
-    }
-  };
-
+  // Decode failures (schema drift, tampering) surface from the adapter as a
+  // plain nullptr miss, so a corrupt entry is re-synthesized and overwritten.
   std::shared_ptr<const CarbonTrace> trace;
   if (store_ != nullptr) {
-    if (auto payload = store_->load(store::ArtifactKind::kCarbonTrace, key)) {
-      trace = try_decode(*payload);
-    }
+    trace = store_->load(key);
     if (trace != nullptr) {
       ++disk_hits_;
     } else {
@@ -84,24 +67,18 @@ std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
       // lock holder before us may have published), then compute + publish.
       // An unacquirable lock (unwritable locks/ dir) degrades to
       // at-least-once synthesis — counted, never fatal.
-      const util::FileLock entry_lock =
-          store_->lock_entry(store::ArtifactKind::kCarbonTrace, key);
+      const util::FileLock entry_lock = store_->lock_entry(key);
       if (!entry_lock.held()) ++lock_failures_;
-      if (auto raced = store_->load(store::ArtifactKind::kCarbonTrace, key)) {
-        trace = try_decode(*raced);
-      }
+      trace = store_->load(key);
       if (trace != nullptr) {
         ++disk_hits_;
       } else {
         trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
         ++syntheses_;
-        try {
-          store_->save(store::ArtifactKind::kCarbonTrace, key, store::encode_trace(*trace));
-        } catch (const std::exception&) {
-          // The store is a cache tier: a publish failure (disk full, lost
-          // permissions) degrades this key to memory-only, it must not
-          // abort the computation that already succeeded.
-        }
+        // The store is a cache tier: a publish failure (disk full, lost
+        // permissions) degrades this key to memory-only — the adapter
+        // swallows it, it must not abort the computation that succeeded.
+        store_->save(key, *trace);
       }
     }
   } else {

@@ -31,12 +31,30 @@
 #include "carbon/synthesizer.hpp"
 #include "carbon/trace.hpp"
 #include "carbon/zone.hpp"
-
-namespace carbonedge::store {
-class ArtifactStore;
-}
+#include "util/fs.hpp"
 
 namespace carbonedge::carbon {
+
+/// Persistence seam for the L2 disk tier. The carbon layer sits below the
+/// store layer in the module DAG, so the cache cannot name
+/// store::ArtifactStore directly; instead it talks to this interface and the
+/// store layer provides the adapter (store::ArtifactTraceStore), which also
+/// owns the codec round-trip — a payload that fails to decode is reported
+/// here as a plain miss.
+class TraceStore {
+ public:
+  virtual ~TraceStore() = default;
+  /// The stored trace for `key`, or nullptr on a miss (including a corrupt
+  /// or undecodable entry).
+  [[nodiscard]] virtual std::shared_ptr<const CarbonTrace> load(const std::string& key) = 0;
+  /// Best-effort publish; failures (disk full, read-only store) must degrade
+  /// silently — the computed trace is already good in memory.
+  virtual void save(const std::string& key, const CarbonTrace& trace) = 0;
+  /// Cross-process advisory entry lock. held()==false degrades the
+  /// synthesize-once guarantee to at-least-once for this key (counted by the
+  /// cache, never fatal).
+  [[nodiscard]] virtual util::FileLock lock_entry(const std::string& key) = 0;
+};
 
 class TraceCache {
  public:
@@ -46,6 +64,10 @@ class TraceCache {
 
   /// The process-wide instance used by CarbonIntensityService::add_region.
   /// On first use it attaches the CARBONEDGE_STORE_DIR store, if set.
+  /// Defined in src/store/trace_tier.cpp: attaching the on-disk tier is
+  /// store-layer policy, and keeping the definition there lets the carbon
+  /// layer stay free of store includes (the layer DAG enforced by
+  /// carbonedge_lint rule A1).
   [[nodiscard]] static TraceCache& global();
 
   /// The trace for (zone, params), loading it from the attached store or
@@ -55,9 +77,10 @@ class TraceCache {
   [[nodiscard]] std::shared_ptr<const CarbonTrace> get(const ZoneSpec& zone,
                                                        const SynthesizerParams& params = {});
 
-  /// Attach (or with nullptr detach) the L2 on-disk tier.
-  void set_store(std::shared_ptr<store::ArtifactStore> store);
-  [[nodiscard]] std::shared_ptr<store::ArtifactStore> store() const;
+  /// Attach (or with nullptr detach) the L2 on-disk tier. The store layer's
+  /// adapter is store::ArtifactTraceStore.
+  void set_store(std::shared_ptr<TraceStore> store);
+  [[nodiscard]] std::shared_ptr<TraceStore> store() const;
 
   /// Content key of a (zone, params) pair: hex digest over every field of
   /// both structs. Also the entry's on-disk name in the artifact store.
@@ -88,7 +111,7 @@ class TraceCache {
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const CarbonTrace>> entries_;
-  std::shared_ptr<store::ArtifactStore> store_;
+  std::shared_ptr<TraceStore> store_;
   std::uint64_t hits_ = 0;
   std::uint64_t disk_hits_ = 0;
   std::uint64_t syntheses_ = 0;

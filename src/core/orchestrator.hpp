@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/placement_service.hpp"
+#include "sim/server.hpp"
 #include "util/random.hpp"
 
 namespace carbonedge::core {

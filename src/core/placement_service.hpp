@@ -8,7 +8,11 @@
 
 #include <chrono>
 
+#include "core/policy.hpp"
 #include "core/problem.hpp"
+#include "sim/server.hpp"
+#include "sim/workload.hpp"
+#include "solver/assignment.hpp"
 
 namespace carbonedge::core {
 

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "carbon/caltime.hpp"
 #include "carbon/service.hpp"
 #include "core/policy.hpp"
 #include "geo/latency.hpp"

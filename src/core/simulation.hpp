@@ -10,12 +10,18 @@
 #include <span>
 #include <unordered_map>
 
+#include "carbon/caltime.hpp"
+#include "carbon/service.hpp"
 #include "core/orchestrator.hpp"
 #include "core/placement_service.hpp"
+#include "core/policy.hpp"
 #include "core/power_manager.hpp"
 #include "geo/latency.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/server.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/workload.hpp"
+#include "solver/assignment.hpp"
 #include "util/parallelism.hpp"
 #include "util/random.hpp"
 

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "geo/city.hpp"
 #include "geo/latency.hpp"
 
 namespace carbonedge::geo {

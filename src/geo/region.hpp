@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "geo/city.hpp"
+#include "geo/coord.hpp"
 
 namespace carbonedge::geo {
 

@@ -12,9 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "core/simulation.hpp"
 #include "geo/region.hpp"
-#include "sim/datacenter.hpp"
+#include "sim/device.hpp"
 
 namespace carbonedge::runner {
 

@@ -6,10 +6,14 @@
 #include <string>
 #include <utility>
 
+#include "carbon/forecast.hpp"
 #include "carbon/service.hpp"
 #include "core/simulation.hpp"
-#include "store/sweep_store.hpp"
+#include "geo/city.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/server.hpp"
 #include "util/parallelism.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace carbonedge::runner {

@@ -11,14 +11,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/simulation.hpp"
 #include "runner/scenario_grid.hpp"
+#include "util/parallelism.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
-
-namespace carbonedge::store {
-class SweepStore;
-}
 
 namespace carbonedge::util {
 class ParallelismBudget;
@@ -32,6 +32,22 @@ struct ScenarioOutcome {
   core::SimulationResult result;
 };
 
+/// Persistence seam for sweep-cell results. The runner layer sits below the
+/// store layer in the module DAG, so it cannot name store::SweepStore
+/// directly; the store layer implements this interface (store::SweepStore)
+/// and callers inject it through ScenarioRunnerOptions. Implementations must
+/// round-trip results bit-exactly: a cache hit replayed into the aggregate
+/// has to leave the summary table byte-identical to a cold run.
+class CellCache {
+ public:
+  virtual ~CellCache() = default;
+  /// The persisted result for `scenario`, or nullopt on a miss.
+  [[nodiscard]] virtual std::optional<core::SimulationResult> load(
+      const Scenario& scenario) = 0;
+  /// Best-effort persist of a computed cell; failures must not throw.
+  virtual void save(const Scenario& scenario, const core::SimulationResult& result) = 0;
+};
+
 struct ScenarioRunnerOptions {
   /// Worker threads for the sweep. 0 (the default) leases one lane per
   /// concurrently running cell from the process worker budget
@@ -42,13 +58,14 @@ struct ScenarioRunnerOptions {
   /// Budget to lease from instead of util::global_budget() (test
   /// injection; also forwarded to every cell's EdgeSimulation).
   util::ParallelismBudget* budget = nullptr;
-  /// Persistent sweep-cell cache (store/sweep_store.hpp). When set, cells
-  /// already in the store are loaded instead of re-simulated (their carbon
-  /// services are not even built) and freshly computed cells are saved
-  /// back, so an interrupted or extended grid resumes incrementally.
-  /// Cached results round-trip bit-exactly: the aggregate — and
-  /// summarize()'s table — is byte-identical to a cold one-shot run.
-  std::shared_ptr<store::SweepStore> sweep_store;
+  /// Persistent sweep-cell cache (store::SweepStore, via the CellCache
+  /// seam). When set, cells already in the cache are loaded instead of
+  /// re-simulated (their carbon services are not even built) and freshly
+  /// computed cells are saved back, so an interrupted or extended grid
+  /// resumes incrementally. Cached results round-trip bit-exactly: the
+  /// aggregate — and summarize()'s table — is byte-identical to a cold
+  /// one-shot run.
+  std::shared_ptr<CellCache> sweep_store;
 };
 
 class ScenarioRunner {

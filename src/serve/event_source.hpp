@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "serve/event.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/server.hpp"
+#include "sim/workload.hpp"
 
 namespace carbonedge::serve {
 

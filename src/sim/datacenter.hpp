@@ -7,6 +7,7 @@
 
 #include "geo/city.hpp"
 #include "geo/region.hpp"
+#include "sim/device.hpp"
 #include "sim/server.hpp"
 
 namespace carbonedge::sim {

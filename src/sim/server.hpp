@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/app_model.hpp"
+#include "sim/device.hpp"
 
 namespace carbonedge::sim {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/datacenter.hpp"
+#include "sim/server.hpp"
 
 namespace carbonedge::sim {
 

@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "util/histogram.hpp"
-#include "util/stats.hpp"
 
 namespace carbonedge::sim {
 

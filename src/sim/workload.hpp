@@ -12,6 +12,7 @@
 
 #include "sim/app_model.hpp"
 #include "sim/datacenter.hpp"
+#include "sim/server.hpp"
 #include "util/random.hpp"
 
 namespace carbonedge::sim {

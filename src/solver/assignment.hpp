@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "solver/lp.hpp"
 #include "solver/milp.hpp"
 
 namespace carbonedge::util {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "solver/assignment.hpp"
+#include "solver/lp.hpp"
 
 namespace carbonedge::solver {
 

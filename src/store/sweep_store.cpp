@@ -2,8 +2,14 @@
 
 #include <stdexcept>
 
+#include "carbon/synthesizer.hpp"
 #include "carbon/trace_cache.hpp"
 #include "carbon/zone.hpp"
+#include "core/simulation.hpp"
+#include "geo/city.hpp"
+#include "sim/device.hpp"
+#include "sim/workload.hpp"
+#include "solver/assignment.hpp"
 #include "store/codecs.hpp"
 #include "util/hash.hpp"
 

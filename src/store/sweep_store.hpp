@@ -26,11 +26,12 @@
 
 #include "core/simulation.hpp"
 #include "runner/scenario_grid.hpp"
+#include "runner/scenario_runner.hpp"
 #include "store/artifact_store.hpp"
 
 namespace carbonedge::store {
 
-class SweepStore {
+class SweepStore final : public runner::CellCache {
  public:
   /// Throws std::invalid_argument on a null store.
   explicit SweepStore(std::shared_ptr<ArtifactStore> artifacts);
@@ -41,13 +42,14 @@ class SweepStore {
 
   /// The persisted result for `scenario`, or nullopt on a miss. Bumps
   /// hits()/misses().
-  [[nodiscard]] std::optional<core::SimulationResult> load(const runner::Scenario& scenario);
+  [[nodiscard]] std::optional<core::SimulationResult> load(
+      const runner::Scenario& scenario) override;
 
   /// Persist a computed cell (atomic publish; safe from concurrent sweep
   /// workers and processes). Best-effort: an unwritable store counts a
   /// write_failure instead of throwing — the sweep's in-memory result is
   /// already good, it just won't resume warm.
-  void save(const runner::Scenario& scenario, const core::SimulationResult& result);
+  void save(const runner::Scenario& scenario, const core::SimulationResult& result) override;
 
   [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifacts() const noexcept {
     return artifacts_;

@@ -1,0 +1,65 @@
+#include "store/trace_tier.hpp"
+
+#include <stdexcept>
+
+#include "carbon/trace.hpp"
+#include "store/artifact.hpp"
+#include "store/codecs.hpp"
+
+namespace carbonedge::store {
+
+ArtifactTraceStore::ArtifactTraceStore(std::shared_ptr<ArtifactStore> artifacts)
+    : artifacts_(std::move(artifacts)) {
+  if (artifacts_ == nullptr) {
+    throw std::invalid_argument("ArtifactTraceStore: null artifact store");
+  }
+}
+
+std::shared_ptr<const carbon::CarbonTrace> ArtifactTraceStore::load(const std::string& key) {
+  const auto payload = artifacts_->load(ArtifactKind::kCarbonTrace, key);
+  if (!payload.has_value()) return nullptr;
+  try {
+    return std::make_shared<const carbon::CarbonTrace>(decode_trace(*payload));
+  } catch (const std::exception&) {
+    // Decodes past the container checksum but not past the codec: treat as
+    // a corrupt entry — miss, so the cache re-synthesizes and overwrites.
+    return nullptr;
+  }
+}
+
+void ArtifactTraceStore::save(const std::string& key, const carbon::CarbonTrace& trace) {
+  try {
+    artifacts_->save(ArtifactKind::kCarbonTrace, key, encode_trace(trace));
+  } catch (const std::exception&) {
+    // Best-effort tier: a publish failure degrades this key to memory-only.
+  }
+}
+
+util::FileLock ArtifactTraceStore::lock_entry(const std::string& key) {
+  return artifacts_->lock_entry(ArtifactKind::kCarbonTrace, key);
+}
+
+std::shared_ptr<ArtifactTraceStore> make_trace_tier(std::shared_ptr<ArtifactStore> artifacts) {
+  if (artifacts == nullptr) return nullptr;
+  return std::make_shared<ArtifactTraceStore>(std::move(artifacts));
+}
+
+}  // namespace carbonedge::store
+
+namespace carbonedge::carbon {
+
+// Defined here rather than in carbon/trace_cache.cpp: the global instance's
+// first-use attach of the CARBONEDGE_STORE_DIR store is store-layer policy
+// (and referencing open_from_env from the carbon layer would invert the
+// module DAG). Any caller of global() links this object file in, so the
+// environment attach behaves exactly as it always has.
+TraceCache& TraceCache::global() {
+  static TraceCache* cache = [] {
+    auto* instance = new TraceCache();
+    instance->set_store(store::make_trace_tier(store::ArtifactStore::open_from_env()));
+    return instance;
+  }();
+  return *cache;
+}
+
+}  // namespace carbonedge::carbon

@@ -1,0 +1,47 @@
+// The store-layer side of the carbon::TraceStore seam.
+//
+// carbon::TraceCache (the L1 in-memory tier) sits below the store layer in
+// the module DAG, so it talks to an abstract carbon::TraceStore instead of
+// naming store::ArtifactStore. ArtifactTraceStore is that adapter: it owns
+// the CEAF codec round-trip (encode_trace/decode_trace) and maps the cache's
+// key-only protocol onto ArtifactKind::kCarbonTrace entries. A payload that
+// fails to decode — schema drift, tampering past the container checksum —
+// comes back as a plain nullptr miss, and publish failures (disk full,
+// read-only store) are swallowed: the store is a cache tier, never a
+// correctness dependency.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "carbon/trace.hpp"
+#include "carbon/trace_cache.hpp"
+#include "store/artifact_store.hpp"
+#include "util/fs.hpp"
+
+namespace carbonedge::store {
+
+class ArtifactTraceStore final : public carbon::TraceStore {
+ public:
+  /// Throws std::invalid_argument on a null store.
+  explicit ArtifactTraceStore(std::shared_ptr<ArtifactStore> artifacts);
+
+  [[nodiscard]] std::shared_ptr<const carbon::CarbonTrace> load(
+      const std::string& key) override;
+  void save(const std::string& key, const carbon::CarbonTrace& trace) override;
+  [[nodiscard]] util::FileLock lock_entry(const std::string& key) override;
+
+  [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifacts() const noexcept {
+    return artifacts_;
+  }
+
+ private:
+  std::shared_ptr<ArtifactStore> artifacts_;
+};
+
+/// Wraps `artifacts` for carbon::TraceCache::set_store, passing a null
+/// pointer through (detach stays detach).
+[[nodiscard]] std::shared_ptr<ArtifactTraceStore> make_trace_tier(
+    std::shared_ptr<ArtifactStore> artifacts);
+
+}  // namespace carbonedge::store

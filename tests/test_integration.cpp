@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulation.hpp"
+#include "util/stats.hpp"
 
 namespace carbonedge::core {
 namespace {

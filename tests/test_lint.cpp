@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "report.hpp"
+
 namespace carbonedge::lint {
 namespace {
 
@@ -365,6 +367,389 @@ TEST(LintOutput, FindingsAreSortedByFileThenLine) {
   EXPECT_EQ(findings[1].file, "src/b.cpp");
   EXPECT_EQ(findings[1].line, 1u);
   EXPECT_EQ(findings[2].line, 2u);
+}
+
+// ------------------------------------------------------------------- D6 --
+
+TEST(LintD6, FiresOnCapturedWriteThatIsNotASlotWrite) {
+  const std::string src =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    best = evaluate(k);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D6"));
+}
+
+TEST(LintD6, FiresWhenSlotIndexDoesNotDeriveFromTheItemParameter) {
+  const std::string src =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    out[cursor] = evaluate(k);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D6"));
+}
+
+TEST(LintD6, QuietOnSanctionedSlotWritesIncludingDerivedLocals) {
+  const std::string src =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k, const Scenario& cell) {\n"
+      "    const std::size_t row = cell.index * stride + k;\n"
+      "    out[row] = evaluate(cell);\n"
+      "    double acc = 0.0;\n"
+      "    acc += weigh(cell);\n"
+      "    grid[k * 2 + 1] = acc;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", src).empty());
+}
+
+TEST(LintD6, ByValueCapturesAreSeedsAndAnnotationSuppresses) {
+  const std::string by_value =
+      "void sweep() {\n"
+      "  pool.submit([&out, base](std::size_t k) { out[base + k] = 1.0; });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", by_value).empty());
+
+  const std::string annotated =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    // lint: slot-write-ok(guarded by the per-chunk mutex two lines up)\n"
+      "    best = evaluate(k);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", annotated).empty());
+}
+
+// ------------------------------------------------------------------- D7 --
+
+TEST(LintD7, FiresOnAccumulationIntoCapturedVariable) {
+  const std::string src =
+      "void sweep() {\n"
+      "  double total = 0.0;\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    total += evaluate(k);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D7"));
+}
+
+TEST(LintD7, FiresOnSelfAssignmentFoldForm) {
+  const std::string src =
+      "void sweep() {\n"
+      "  parallel_for(pool, 0, n, [&](std::size_t i) {\n"
+      "    acc = acc + weigh(i);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D7"));
+}
+
+TEST(LintD7, FiresOnAccumulationOverUnorderedContainer) {
+  const std::string src =
+      "std::unordered_map<int, double> cells_;\n"
+      "double total() {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& [id, value] : cells_) sum += value;\n"
+      "  return sum;\n"
+      "}\n";
+  // D2 flags the iteration itself; D7 flags the order-sensitive fold.
+  EXPECT_TRUE(has_rule(lint_one("src/x.cpp", src), "D7"));
+}
+
+TEST(LintD7, QuietOnOrderedFoldAnnotationAndPerSlotWrites) {
+  const std::string annotated =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k) {\n"
+      "    // lint: ordered-fold-ok(integer event counter; addition commutes)\n"
+      "    events += count(k);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", annotated).empty());
+
+  const std::string slots =
+      "void sweep() {\n"
+      "  parallel_items(n, [&](std::size_t k) { partial[k] = evaluate(k); });\n"
+      "  double total = 0.0;\n"
+      "  for (double p : partial) total += p;\n"  // serial fold: fine
+      "}\n";
+  EXPECT_TRUE(lint_one("src/x.cpp", slots).empty());
+}
+
+// ------------------------------------------------------------------- D8 --
+
+TEST(LintD8, FiresOnRawLockAndUnlock) {
+  const std::string src =
+      "void f() {\n"
+      "  mutex_.lock();\n"
+      "  state_ = 1;\n"
+      "  mutex_.unlock();\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_one("src/x.cpp", src), "D8"), 2u);
+}
+
+TEST(LintD8, QuietOnRaiiGuardsAndTryLock) {
+  const std::string src =
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> guard(mutex_);\n"
+      "  std::scoped_lock all(a_, b_);\n"
+      "  if (mutex_.try_lock()) { mutex_.unlock(); }\n"
+      "}\n";
+  // try_lock is fine; the paired unlock still needs its reason.
+  EXPECT_EQ(count_rule(lint_one("src/x.cpp", src), "D8"), 1u);
+}
+
+// ---------------------------------------------------------- architecture --
+
+LintOutput lint_arch(std::vector<SourceFile> files, std::string layers = "") {
+  std::vector<AllowlistEntry> allowlist;
+  LintConfig config;
+  config.layers_text = std::move(layers);
+  return run_lint_full(files, allowlist, config);
+}
+
+constexpr const char* kLayers = "util:\nrunner: util\n";
+
+TEST(LintA1, UpwardDependencyFiresAndDeclaredDependencyIsQuiet) {
+  std::vector<SourceFile> files{
+      {"src/util/u.hpp", "#pragma once\nint util_helper();\n"},
+      {"src/runner/r.hpp",
+       "#pragma once\n#include \"util/u.hpp\"\nint runner_uses() { return util_helper(); }\n"},
+      {"src/util/bad.hpp",
+       "#pragma once\n#include \"runner/r.hpp\"\nint up() { return runner_uses(); }\n"},
+  };
+  const LintOutput out = lint_arch(files, kLayers);
+  ASSERT_EQ(count_rule(out.findings, "A1"), 1u);
+  const auto found = std::find_if(out.findings.begin(), out.findings.end(),
+                                  [](const Finding& f) { return f.rule == "A1"; });
+  EXPECT_EQ(found->file, "src/util/bad.hpp");
+  EXPECT_NE(found->message.find("src/runner/r.hpp"), std::string::npos);
+
+  files.pop_back();  // drop the upward include: the declared edge is fine
+  EXPECT_FALSE(has_rule(lint_arch(files, kLayers).findings, "A1"));
+}
+
+TEST(LintA1, UndeclaredModuleIsALintErrorAndNoLayersDisablesA1) {
+  std::vector<SourceFile> files{
+      {"src/store/s.hpp", "#pragma once\nint store_thing();\n"},
+  };
+  EXPECT_TRUE(has_rule(lint_arch(files, kLayers).findings, "LINT"));
+  EXPECT_TRUE(lint_arch(files, "").findings.empty());  // unconfigured: no gate
+}
+
+TEST(LintA1, TransitiveClosureIsAdmitted) {
+  const std::string layers = "util:\nsim: util\nrunner: sim\n";
+  std::vector<SourceFile> files{
+      {"src/util/u.hpp", "#pragma once\nint util_helper();\n"},
+      {"src/sim/s.hpp", "#pragma once\n#include \"util/u.hpp\"\nint sim_u() { return util_helper(); }\n"},
+      {"src/runner/r.hpp",
+       "#pragma once\n#include \"util/u.hpp\"\nint r() { return util_helper(); }\n"},
+  };
+  // runner -> util is not a *direct* declaration, but reachable via sim.
+  EXPECT_FALSE(has_rule(lint_arch(files, layers).findings, "A1"));
+}
+
+TEST(LintA2, IncludeCycleReportedOnceWithCanonicalPath) {
+  std::vector<SourceFile> files{
+      {"src/util/a.hpp", "#pragma once\n#include \"util/b.hpp\"\nint a_thing();\n"},
+      {"src/util/b.hpp", "#pragma once\n#include \"util/a.hpp\"\nint b_thing();\n"},
+  };
+  const LintOutput out = lint_arch(files);
+  ASSERT_EQ(count_rule(out.findings, "A2"), 1u);
+  const auto found = std::find_if(out.findings.begin(), out.findings.end(),
+                                  [](const Finding& f) { return f.rule == "A2"; });
+  EXPECT_EQ(found->file, "src/util/a.hpp");  // lexicographically smallest
+  EXPECT_NE(found->message.find("src/util/a.hpp -> src/util/b.hpp -> src/util/a.hpp"),
+            std::string::npos);
+}
+
+TEST(LintA3, SrcMayNotIncludeFromHarnessTrees) {
+  std::vector<SourceFile> files{
+      {"src/util/x.cpp", "#include \"tests/helpers.hpp\"\nint x;\n"},
+  };
+  EXPECT_TRUE(has_rule(lint_arch(files).findings, "A3"));
+}
+
+TEST(LintA4, UnusedIncludeFiresWithRemovalEditAndUsedIncludeIsQuiet) {
+  std::vector<SourceFile> files{
+      {"src/util/leaf.hpp", "#pragma once\nstruct LeafThing { int v; };\n"},
+      {"src/util/user.cpp", "#include \"util/leaf.hpp\"\nint unrelated() { return 3; }\n"},
+  };
+  const LintOutput unused = lint_arch(files);
+  ASSERT_EQ(count_rule(unused.findings, "A4"), 1u);
+  ASSERT_EQ(unused.edits.size(), 1u);
+  EXPECT_TRUE(unused.edits[0].remove);
+  EXPECT_EQ(unused.edits[0].file, "src/util/user.cpp");
+  EXPECT_EQ(unused.edits[0].line, 1u);
+
+  files[1].content = "#include \"util/leaf.hpp\"\nLeafThing make() { return {}; }\n";
+  EXPECT_FALSE(has_rule(lint_arch(files).findings, "A4"));
+}
+
+TEST(LintA4, CompanionHeaderIsNeverAnUnusedInclude) {
+  std::vector<SourceFile> files{
+      {"src/util/thing.hpp", "#pragma once\nstruct OtherName { int v; };\n"},
+      {"src/util/thing.cpp", "#include \"util/thing.hpp\"\nint impl() { return 1; }\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_arch(files).findings, "A4"));
+}
+
+TEST(LintA5, TransitiveOnlyIncludeFiresWithChainAndInsertionEdit) {
+  std::vector<SourceFile> files{
+      {"src/util/leaf.hpp", "#pragma once\nstruct LeafThing { int v; };\n"},
+      {"src/util/mid.hpp",
+       "#pragma once\n#include \"util/leaf.hpp\"\nLeafThing wrap();\n"},
+      {"src/util/top.cpp",
+       "#include \"util/mid.hpp\"\nLeafThing direct_use() { return wrap(); }\n"},
+  };
+  const LintOutput out = lint_arch(files);
+  ASSERT_EQ(count_rule(out.findings, "A5"), 1u);
+  const auto found = std::find_if(out.findings.begin(), out.findings.end(),
+                                  [](const Finding& f) { return f.rule == "A5"; });
+  EXPECT_EQ(found->file, "src/util/top.cpp");
+  EXPECT_NE(found->message.find("`LeafThing`"), std::string::npos);
+  EXPECT_NE(found->message.find(
+                "src/util/top.cpp -> src/util/mid.hpp -> src/util/leaf.hpp"),
+            std::string::npos);
+  ASSERT_EQ(out.edits.size(), 1u);
+  EXPECT_FALSE(out.edits[0].remove);
+  EXPECT_EQ(out.edits[0].text, "#include \"util/leaf.hpp\"");
+
+  // Including the exporter directly resolves it.
+  files[2].content =
+      "#include \"util/leaf.hpp\"\n#include \"util/mid.hpp\"\n"
+      "LeafThing direct_use() { return wrap(); }\n";
+  EXPECT_FALSE(has_rule(lint_arch(files).findings, "A5"));
+}
+
+TEST(LintA5, CompanionHeaderChainIsExempt) {
+  std::vector<SourceFile> files{
+      {"src/util/leaf.hpp", "#pragma once\nstruct LeafThing { int v; };\n"},
+      {"src/util/top.hpp",
+       "#pragma once\n#include \"util/leaf.hpp\"\nLeafThing top_make();\n"},
+      {"src/util/top.cpp",
+       "#include \"util/top.hpp\"\nLeafThing top_make() { return {}; }\n"},
+  };
+  // top.cpp reaches LeafThing through its own companion header: that is the
+  // declared interface, not a hidden transitive dependency.
+  EXPECT_FALSE(has_rule(lint_arch(files).findings, "A5"));
+}
+
+TEST(LintArch, ModuleGraphDotListsObservedEdges) {
+  std::vector<SourceFile> files{
+      {"src/util/u.hpp", "#pragma once\nint util_helper();\n"},
+      {"src/runner/r.hpp",
+       "#pragma once\n#include \"util/u.hpp\"\nint r() { return util_helper(); }\n"},
+  };
+  const LintOutput out = lint_arch(files, kLayers);
+  EXPECT_NE(out.module_graph_dot.find("\"runner\" -> \"util\""), std::string::npos);
+}
+
+TEST(LintLayers, MalformedUnknownDepAndCycleAreLintErrors) {
+  std::vector<SourceFile> none;
+  EXPECT_TRUE(has_rule(lint_arch(none, "not a layers line\n").findings, "LINT"));
+  EXPECT_TRUE(has_rule(lint_arch(none, "util: ghost\n").findings, "LINT"));
+  EXPECT_TRUE(
+      has_rule(lint_arch(none, "a: b\nb: a\n").findings, "LINT"));  // declared cycle
+  EXPECT_TRUE(lint_arch(none, "util:\nrunner: util\n").findings.empty());
+}
+
+// ------------------------------------------------------- engine options --
+
+TEST(LintConfigTest, RuleFilterRunsOnlySelectedRules) {
+  const std::string src = "auto t = time(nullptr);\nauto e = getenv(\"X\");\n";
+  std::vector<SourceFile> files{{"src/x.cpp", src}};
+  std::vector<AllowlistEntry> allowlist;
+  LintConfig config;
+  config.rules = {"D1"};
+  const LintOutput out = run_lint_full(files, allowlist, config);
+  EXPECT_TRUE(has_rule(out.findings, "D1"));
+  EXPECT_FALSE(has_rule(out.findings, "D5"));
+}
+
+TEST(LintConfigTest, SuppressionForDisabledRuleIsNotCondemned) {
+  const std::string src =
+      "// lint: getenv-ok(read-only diagnostic toggle)\n"
+      "auto e = getenv(\"X\");\n"
+      "auto t = time(nullptr);\n";
+  std::vector<SourceFile> files{{"src/x.cpp", src}};
+  std::vector<AllowlistEntry> allowlist;
+  LintConfig config;
+  config.rules = {"D1"};
+  const LintOutput out = run_lint_full(files, allowlist, config);
+  // Only the D1 finding: the getenv-ok annotation is outside this run's
+  // scope, neither used nor condemned as unused.
+  ASSERT_EQ(out.findings.size(), 1u);
+  EXPECT_EQ(out.findings[0].rule, "D1");
+}
+
+TEST(LintRules, CatalogCoversEveryRuleWithUniqueTokens) {
+  std::set<std::string> ids;
+  std::set<std::string> tokens;
+  for (const RuleInfo& rule : rules()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << rule.id;
+    EXPECT_TRUE(tokens.insert(rule.token).second) << rule.token;
+    EXPECT_FALSE(rule.summary.empty());
+  }
+  for (const char* id : {"D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "H1", "A1",
+                         "A2", "A3", "A4", "A5"}) {
+    EXPECT_EQ(ids.count(id), 1u) << id;
+  }
+}
+
+// ------------------------------------------------------------- reporting --
+
+TEST(LintReport, JsonCarriesEveryFindingField) {
+  const auto findings = lint_one("src/sim/x.cpp", "float f;\n");
+  const std::string json = to_json(findings);
+  EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/sim/x.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"D4\""), std::string::npos);
+  EXPECT_EQ(to_json({}).find("{\"findings\": []}"), 0u);
+}
+
+TEST(LintReport, SarifHasSchemaRunsRulesAndResults) {
+  const auto findings = lint_one("src/sim/x.cpp", "float f;\n");
+  const std::string sarif = to_sarif(findings);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"carbonedge_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"D4\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/sim/x.cpp\""), std::string::npos);
+  // The driver advertises its whole rule catalog even when nothing fires.
+  EXPECT_NE(to_sarif({}).find("\"id\": \"A1\""), std::string::npos);
+}
+
+TEST(LintReport, BaselineFiltersKnownFindingsButKeepsNewOnes) {
+  const auto old_findings = lint_one("src/sim/x.cpp", "float f;\n");
+  const std::set<std::string> baseline = parse_baseline(write_baseline(old_findings));
+  EXPECT_TRUE(filter_baseline(old_findings, baseline).empty());
+
+  // Same rule, same message, different line: still baselined (line-free keys
+  // survive unrelated edits shifting the file).
+  const auto shifted = lint_one("src/sim/x.cpp", "\n\nfloat f;\n");
+  EXPECT_TRUE(filter_baseline(shifted, baseline).empty());
+
+  const auto new_findings = lint_one("src/sim/x.cpp", "float f;\nauto t = time(nullptr);\n");
+  const auto fresh = filter_baseline(new_findings, baseline);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rule, "D1");
+}
+
+TEST(LintReport, UnifiedDiffRendersRemovalsAndInsertions) {
+  std::vector<SourceFile> files{
+      {"src/util/user.cpp", "#include \"util/leaf.hpp\"\nint unrelated() { return 3; }\n"},
+  };
+  std::vector<IncludeEdit> edits{
+      {"src/util/user.cpp", 1, true, "A4", ""},
+      {"src/util/user.cpp", 2, false, "A5", "#include \"util/other.hpp\""},
+  };
+  const std::string diff = to_unified_diff(edits, files);
+  EXPECT_NE(diff.find("--- src/util/user.cpp"), std::string::npos);
+  EXPECT_NE(diff.find("-#include \"util/leaf.hpp\""), std::string::npos);
+  EXPECT_NE(diff.find("+#include \"util/other.hpp\""), std::string::npos);
 }
 
 }  // namespace

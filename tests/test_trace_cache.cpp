@@ -9,6 +9,7 @@
 #include "carbon/service.hpp"
 #include "geo/region.hpp"
 #include "store/artifact_store.hpp"
+#include "store/trace_tier.hpp"
 #include "store_test_util.hpp"
 
 namespace carbonedge::carbon {
@@ -173,14 +174,14 @@ TEST(TraceCache, TwoCachesShareOneStoreDirectory) {
   const ZoneSpec zone_b = spec_of(geo::italy_region(), 1);
 
   TraceCache first;
-  first.set_store(std::make_shared<store::ArtifactStore>(tmp.dir));
+  first.set_store(store::make_trace_tier(std::make_shared<store::ArtifactStore>(tmp.dir)));
   const auto synthesized_a = first.get(zone_a);
   const auto synthesized_b = first.get(zone_b);
   EXPECT_EQ(first.syntheses(), 2u);
   EXPECT_EQ(first.disk_hits(), 0u);
 
   TraceCache second;
-  second.set_store(std::make_shared<store::ArtifactStore>(tmp.dir));
+  second.set_store(store::make_trace_tier(std::make_shared<store::ArtifactStore>(tmp.dir)));
   const auto loaded_a = second.get(zone_a);
   const auto loaded_b = second.get(zone_b);
   EXPECT_EQ(second.syntheses(), 0u);  // exactly one synthesis per key, ever
@@ -208,7 +209,7 @@ TEST(TraceCache, CorruptStoreEntryIsResynthesizedAndHealed) {
   auto artifacts = std::make_shared<store::ArtifactStore>(tmp.dir);
 
   TraceCache first;
-  first.set_store(artifacts);
+  first.set_store(store::make_trace_tier(artifacts));
   (void)first.get(zone);
   // Scribble over the entry: the next cache must notice, re-synthesize,
   // and publish a fresh intact copy.
@@ -217,14 +218,14 @@ TEST(TraceCache, CorruptStoreEntryIsResynthesizedAndHealed) {
                                10);
 
   TraceCache second;
-  second.set_store(artifacts);
+  second.set_store(store::make_trace_tier(artifacts));
   const auto healed = second.get(zone);
   EXPECT_EQ(second.syntheses(), 1u);
   EXPECT_EQ(second.disk_hits(), 0u);
   EXPECT_GT(healed->hours(), 0u);
 
   TraceCache third;
-  third.set_store(artifacts);
+  third.set_store(store::make_trace_tier(artifacts));
   (void)third.get(zone);
   EXPECT_EQ(third.disk_hits(), 1u);  // healed entry reads back intact
 }

@@ -1,9 +1,15 @@
-// carbonedge_lint CLI: walk src/, examples/, and bench/ under --root, run
-// the determinism rules (see lint.hpp), print `file:line: rule-id: message`
-// per finding, and exit nonzero on any finding. The checked-in allowlist is
-// loaded from <root>/tools/lint/allowlist.txt unless overridden.
+// carbonedge_lint CLI: walk src/, examples/, bench/, and tools/ under
+// --root, run the determinism + dataflow rules and the tree-wide
+// architecture pass (see lint.hpp), print `file:line: rule-id: message` per
+// finding, and exit nonzero on any finding not covered by the baseline. The
+// checked-in allowlist is loaded from <root>/tools/lint/allowlist.txt and
+// the layer DAG from <root>/tools/lint/layers.txt unless overridden.
 //
-//   carbonedge_lint [--root DIR] [--allowlist FILE|-] [dir...]
+//   carbonedge_lint [--root DIR] [--allowlist FILE|-] [--layers FILE|-]
+//                   [--rule=ID[,ID...]] [--format=text|json|sarif]
+//                   [--baseline=FILE] [--write-baseline=FILE]
+//                   [--fix-includes] [--dump-graph=dot] [--list-rules]
+//                   [dir...]
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -13,12 +19,16 @@
 #include <vector>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
 using carbonedge::lint::AllowlistEntry;
 using carbonedge::lint::Finding;
+using carbonedge::lint::LintConfig;
+using carbonedge::lint::LintOutput;
+using carbonedge::lint::RuleInfo;
 using carbonedge::lint::SourceFile;
 
 [[nodiscard]] bool lintable(const fs::path& path) {
@@ -34,9 +44,17 @@ using carbonedge::lint::SourceFile;
 }
 
 int usage() {
-  std::cerr << "usage: carbonedge_lint [--root DIR] [--allowlist FILE|-] [dir...]\n"
-            << "  Lints DIR-relative dirs (default: src examples bench) and exits\n"
-            << "  nonzero on any finding. `--allowlist -` disables the allowlist.\n";
+  std::cerr
+      << "usage: carbonedge_lint [--root DIR] [--allowlist FILE|-] [--layers FILE|-]\n"
+      << "                       [--rule=ID[,ID...]] [--format=text|json|sarif]\n"
+      << "                       [--baseline=FILE] [--write-baseline=FILE]\n"
+      << "                       [--fix-includes] [--dump-graph=dot] [--list-rules]\n"
+      << "                       [dir...]\n"
+      << "  Lints DIR-relative dirs (default: src examples bench tools) and exits\n"
+      << "  nonzero on any finding not in the baseline. `--allowlist -` disables\n"
+      << "  the allowlist; `--layers -` disables the layer DAG (A1).\n"
+      << "  --fix-includes prints a unified diff for A4/A5 findings instead of\n"
+      << "  gating; --dump-graph=dot prints the observed module graph.\n";
   return 2;
 }
 
@@ -45,20 +63,58 @@ int usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string allowlist_arg;
+  std::string layers_arg;
+  std::string baseline_arg;
+  std::string write_baseline_arg;
+  std::string format_arg = "text";
+  std::string rule_arg;
+  bool fix_includes = false;
+  bool dump_graph = false;
+  bool list_rules = false;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_arg = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_arg = argv[++i];
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      rule_arg = value_of("--rule=");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format_arg = value_of("--format=");
+      if (format_arg != "text" && format_arg != "json" && format_arg != "sarif") {
+        return usage();
+      }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_arg = value_of("--baseline=");
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_arg = value_of("--write-baseline=");
+    } else if (arg == "--fix-includes") {
+      fix_includes = true;
+    } else if (arg == "--dump-graph=dot") {
+      dump_graph = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
       dirs.push_back(arg);
     }
   }
-  if (dirs.empty()) dirs = {"src", "examples", "bench"};
+  if (list_rules) {
+    for (const RuleInfo& rule : carbonedge::lint::rules()) {
+      std::cout << rule.id << "  " << rule.token << "\n    " << rule.summary << "\n";
+    }
+    std::cout << "LINT  (not suppressible)\n    malformed or unused suppression, "
+                 "allowlist, or layers declaration\n";
+    return 0;
+  }
+  if (dirs.empty()) dirs = {"src", "examples", "bench", "tools"};
 
   std::vector<SourceFile> files;
   for (const std::string& dir : dirs) {
@@ -94,15 +150,80 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<Finding> lint = carbonedge::lint::run_lint(files, allowlist);
-  findings.insert(findings.end(), lint.begin(), lint.end());
+  LintConfig config;
+  fs::path layers_path = root / "tools" / "lint" / "layers.txt";
+  if (!layers_arg.empty()) layers_path = layers_arg;
+  if (layers_arg != "-") {
+    std::error_code ec;
+    if (fs::is_regular_file(layers_path, ec)) {
+      config.layers_text = read_file(layers_path);
+      config.layers_label = fs::relative(layers_path, root).generic_string();
+    } else if (!layers_arg.empty()) {
+      std::cerr << "carbonedge_lint: layers file not found: " << layers_path.string()
+                << "\n";
+      return 2;
+    }
+  }
+  if (!rule_arg.empty()) {
+    std::istringstream list(rule_arg);
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      if (!id.empty()) config.rules.push_back(id);
+    }
+  }
+
+  LintOutput output = carbonedge::lint::run_lint_full(files, allowlist, config);
+  findings.insert(findings.end(), output.findings.begin(), output.findings.end());
+
+  if (dump_graph) {
+    std::cout << output.module_graph_dot;
+    return 0;
+  }
+  if (fix_includes) {
+    std::cout << carbonedge::lint::to_unified_diff(output.edits, files);
+    return output.edits.empty() ? 0 : 1;
+  }
+  if (!write_baseline_arg.empty()) {
+    std::ofstream out(write_baseline_arg, std::ios::binary);
+    out << carbonedge::lint::write_baseline(findings);
+    std::cerr << "carbonedge_lint: wrote " << findings.size() << " baseline entries to "
+              << write_baseline_arg << "\n";
+    return 0;
+  }
+
+  // The baseline downgrades known findings: still printed, but only NEW
+  // findings gate the exit status.
+  std::vector<Finding> gating = findings;
+  if (!baseline_arg.empty()) {
+    std::error_code ec;
+    if (!fs::is_regular_file(baseline_arg, ec)) {
+      std::cerr << "carbonedge_lint: baseline not found: " << baseline_arg << "\n";
+      return 2;
+    }
+    gating = carbonedge::lint::filter_baseline(
+        findings, carbonedge::lint::parse_baseline(read_file(baseline_arg)));
+  }
+
+  if (format_arg == "json") {
+    std::cout << carbonedge::lint::to_json(gating);
+    return gating.empty() ? 0 : 1;
+  }
+  if (format_arg == "sarif") {
+    std::cout << carbonedge::lint::to_sarif(gating);
+    return gating.empty() ? 0 : 1;
+  }
   for (const Finding& finding : findings) {
     std::cout << carbonedge::lint::format(finding) << "\n";
   }
-  if (!findings.empty()) {
-    std::cout << "carbonedge_lint: " << findings.size() << " finding(s) across "
+  if (!gating.empty()) {
+    std::cout << "carbonedge_lint: " << gating.size() << " finding(s) across "
               << files.size() << " files\n";
     return 1;
+  }
+  if (findings.size() != gating.size()) {
+    std::cout << "carbonedge_lint: " << files.size() << " files, "
+              << (findings.size() - gating.size()) << " baselined finding(s), 0 new\n";
+    return 0;
   }
   std::cout << "carbonedge_lint: " << files.size() << " files clean ("
             << allowlist.size() << " allowlist entries, all used)\n";

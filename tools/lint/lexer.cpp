@@ -1,0 +1,349 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <utility>
+
+namespace carbonedge::lint {
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One pass over the raw bytes: comments are collected (for annotation
+/// extraction) and blanked, string/char/raw-string literal *contents* are
+/// blanked (delimiters kept), everything else is copied through. Line
+/// structure is preserved exactly so offsets map 1:1 onto line numbers.
+LexResult lex(std::string_view src) {
+  LexResult out;
+  out.stripped.reserve(src.size());
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const auto put = [&](char c) { out.stripped.push_back(c); };
+  const auto blank = [&](char c) {
+    if (c == '\n') {
+      put('\n');
+      ++line;
+    } else {
+      put(' ');
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      put('\n');
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {  // line comment
+      put('/');
+      put('/');
+      i += 2;
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        text.push_back(src[i]);
+        put(' ');
+        ++i;
+      }
+      out.comments.push_back({std::move(text), line});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {  // block comment
+      put('/');
+      put('*');
+      i += 2;
+      std::string text;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        text.push_back(src[i]);
+        blank(src[i]);
+        ++i;
+      }
+      if (i + 1 < n) {
+        put('*');
+        put('/');
+        i += 2;
+      } else if (i < n) {  // unterminated: swallow the final char
+        text.push_back(src[i]);
+        blank(src[i]);
+        ++i;
+      }
+      out.comments.push_back({std::move(text), line});
+      continue;
+    }
+    if (c == '"') {
+      // Raw string? Look back over an optional encoding prefix for an R
+      // that is not the tail of a longer identifier.
+      bool raw = false;
+      if (i >= 1 && src[i - 1] == 'R') {
+        std::size_t start = i - 1;  // candidate prefix start
+        if (start >= 1 && (src[start - 1] == 'u' || src[start - 1] == 'U' ||
+                           src[start - 1] == 'L')) {
+          --start;
+        } else if (start >= 2 && src[start - 1] == '8' && src[start - 2] == 'u') {
+          start -= 2;
+        }
+        raw = start == 0 || !ident_char(src[start - 1]);
+      }
+      if (raw) {
+        // Validate the delimiter: raw-string syntax is R"delim( ... )delim".
+        std::size_t d = i + 1;
+        while (d < n && d - (i + 1) <= 16 && src[d] != '(' && src[d] != ')' &&
+               src[d] != '\\' && src[d] != '"' && src[d] != '\n' && src[d] != ' ') {
+          ++d;
+        }
+        if (d < n && src[d] == '(') {
+          const std::string terminator =
+              ")" + std::string(src.substr(i + 1, d - (i + 1))) + "\"";
+          put('"');
+          ++i;
+          while (i < d + 1) {  // delimiter + '(' kept verbatim
+            put(src[i]);
+            ++i;
+          }
+          const std::size_t end = src.find(terminator, i);
+          const std::size_t stop = end == std::string_view::npos ? n : end;
+          while (i < stop) {
+            blank(src[i]);
+            ++i;
+          }
+          for (std::size_t k = 0; k < terminator.size() && i < n; ++k, ++i) put(src[i]);
+          continue;
+        }
+        // No valid delimiter: fall through and treat it as an ordinary
+        // string (it was something like MACRO_ENDING_IN_R "...").
+      }
+      put('"');
+      ++i;
+      while (i < n && src[i] != '"' && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
+          put(' ');
+          put(' ');
+          i += 2;
+          continue;
+        }
+        put(' ');
+        ++i;
+      }
+      if (i < n && src[i] == '"') {
+        put('"');
+        ++i;
+      }
+      continue;
+    }
+    if (c == '\'') {
+      // A quote glued to an identifier/number is a digit separator
+      // (1'000'000), not a character literal.
+      if (i >= 1 && ident_char(src[i - 1])) {
+        put('\'');
+        ++i;
+        continue;
+      }
+      put('\'');
+      ++i;
+      while (i < n && src[i] != '\'' && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
+          put(' ');
+          put(' ');
+          i += 2;
+          continue;
+        }
+        put(' ');
+        ++i;
+      }
+      if (i < n && src[i] == '\'') {
+        put('\'');
+        ++i;
+      }
+      continue;
+    }
+    put(c);
+    ++i;
+  }
+  return out;
+}
+
+void parse_annotation_text(const Comment& comment, std::vector<Annotation>& out) {
+  // Word boundary required: prose like "carbonedge_lint: one pass" is not
+  // an annotation.
+  std::size_t pos = comment.text.find("lint:");
+  while (pos != std::string::npos && pos > 0 && ident_char(comment.text[pos - 1])) {
+    pos = comment.text.find("lint:", pos + 1);
+  }
+  if (pos == std::string::npos) return;
+  Annotation ann;
+  ann.line = comment.end_line;
+  std::size_t i = pos + 5;
+  const std::string& text = comment.text;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  if (i < text.size() && text[i] == '<') return;  // `lint: <token>(<reason>)` syntax doc
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) != 0 || text[i] == '-')) {
+    ann.token.push_back(text[i]);
+    ++i;
+  }
+  if (ann.token.empty()) {
+    ann.malformed = true;
+    ann.error = "annotation is missing a suppression token (want `lint: <token>(<reason>)`)";
+    out.push_back(std::move(ann));
+    return;
+  }
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  if (i >= text.size() || text[i] != '(') {
+    ann.malformed = true;
+    ann.error = "suppression `" + ann.token + "` has no (<reason>) — every escape hatch " +
+                "must say why";
+    out.push_back(std::move(ann));
+    return;
+  }
+  ++i;
+  std::size_t depth = 1;
+  while (i < text.size() && depth > 0) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) break;
+    }
+    ann.reason.push_back(text[i]);
+    ++i;
+  }
+  if (depth != 0) {
+    ann.malformed = true;
+    ann.error = "suppression `" + ann.token + "` has an unterminated (<reason>)";
+    out.push_back(std::move(ann));
+    return;
+  }
+  const auto first = ann.reason.find_first_not_of(" \t");
+  const auto last = ann.reason.find_last_not_of(" \t");
+  ann.reason = first == std::string::npos ? "" : ann.reason.substr(first, last - first + 1);
+  if (ann.reason.empty()) {
+    ann.malformed = true;
+    ann.error = "suppression `" + ann.token + "` has an empty reason";
+    out.push_back(std::move(ann));
+    return;
+  }
+  if (token_rules().find(ann.token) == token_rules().end()) {
+    ann.malformed = true;
+    ann.error = "unknown suppression token `" + ann.token + "`";
+  }
+  out.push_back(std::move(ann));
+}
+
+std::size_t line_of(const FileScan& fs, std::size_t offset) {
+  const auto it =
+      std::upper_bound(fs.line_starts.begin(), fs.line_starts.end(), offset);
+  return static_cast<std::size_t>(it - fs.line_starts.begin());
+}
+
+std::vector<std::size_t> match_brackets(const std::string& stripped) {
+  std::vector<std::size_t> match(stripped.size(), std::string::npos);
+  // One stack per bracket kind: a stray `)` inside an unbalanced macro must
+  // not steal the partner of an enclosing `{`.
+  std::vector<std::size_t> parens;
+  std::vector<std::size_t> squares;
+  std::vector<std::size_t> braces;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    switch (stripped[i]) {
+      case '(': parens.push_back(i); break;
+      case '[': squares.push_back(i); break;
+      case '{': braces.push_back(i); break;
+      case ')':
+        if (!parens.empty()) {
+          match[parens.back()] = i;
+          match[i] = parens.back();
+          parens.pop_back();
+        }
+        break;
+      case ']':
+        if (!squares.empty()) {
+          match[squares.back()] = i;
+          match[i] = squares.back();
+          squares.pop_back();
+        }
+        break;
+      case '}':
+        if (!braces.empty()) {
+          match[braces.back()] = i;
+          match[i] = braces.back();
+          braces.pop_back();
+        }
+        break;
+      default: break;
+    }
+  }
+  return match;
+}
+
+namespace {
+
+/// `#include` directives are read from the raw source: the lexer blanks
+/// quoted paths, so the stripped view cannot carry them.
+void parse_includes(const std::string& raw, std::vector<IncludeDirective>& out) {
+  static const std::regex kInclude(R"(^[ \t]*#[ \t]*include[ \t]*(["<])([^">]+)[">])");
+  std::size_t line = 1;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) end = raw.size();
+    const std::string text = raw.substr(start, end - start);
+    std::smatch m;
+    if (std::regex_search(text, m, kInclude)) {
+      out.push_back({line, m[2].str(), m[1].str() == "\""});
+    }
+    if (end == raw.size()) break;
+    start = end + 1;
+    ++line;
+  }
+}
+
+}  // namespace
+
+FileScan scan_file(const SourceFile& file) {
+  FileScan fs;
+  fs.file = &file;
+  LexResult lexed = lex(file.content);
+  fs.stripped = std::move(lexed.stripped);
+  for (const Comment& comment : lexed.comments) {
+    parse_annotation_text(comment, fs.annotations);
+  }
+  fs.line_starts.push_back(0);
+  for (std::size_t i = 0; i < fs.stripped.size(); ++i) {
+    if (fs.stripped[i] == '\n') fs.line_starts.push_back(i + 1);
+  }
+  parse_includes(file.content, fs.includes);
+  fs.bracket_match = match_brackets(fs.stripped);
+  return fs;
+}
+
+std::size_t skip_angles(const std::string& s, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>') {
+      if (depth == 0) return std::string::npos;
+      if (--depth == 0) return i + 1;
+    }
+    if (s[i] == ';') return std::string::npos;  // statement ended: not a template
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_balanced(const std::string& s, std::size_t open, char open_ch,
+                          char close_ch) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == open_ch) ++depth;
+    if (s[i] == close_ch && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+  return i;
+}
+
+}  // namespace carbonedge::lint

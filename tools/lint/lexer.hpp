@@ -1,0 +1,79 @@
+// Lexing layer of carbonedge_lint: one pass over the raw bytes produces the
+// "stripped" view every rule scans (comments and literal contents blanked,
+// length and line structure preserved exactly), the comment list the
+// annotation parser consumes, the `#include` directives the architecture
+// pass resolves, and a token-tree bracket-match table so region analysis
+// (parallel lambdas, loop bodies, enum bodies) is scoped structurally
+// instead of line-by-line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace carbonedge::lint {
+
+[[nodiscard]] bool ident_char(char c) noexcept;
+
+/// One comment's text and the 1-based line it ends on (where a trailing
+/// annotation takes effect).
+struct Comment {
+  std::string text;
+  std::size_t end_line = 0;
+};
+
+struct LexResult {
+  std::string stripped;
+  std::vector<Comment> comments;
+};
+
+/// Blanks comment bodies and string/char/raw-string literal contents
+/// (delimiters kept, newlines kept) so offsets map 1:1 onto the source.
+[[nodiscard]] LexResult lex(std::string_view src);
+
+/// Parses a `lint: <token>(<reason>)` annotation out of one comment, if
+/// present. Malformed annotations are appended with `malformed` set.
+void parse_annotation_text(const Comment& comment, std::vector<Annotation>& out);
+
+/// One `#include` directive, parsed from the raw source (the lexer blanks
+/// quoted paths, so the stripped view cannot carry them).
+struct IncludeDirective {
+  std::size_t line = 0;  // 1-based
+  std::string target;    // the path between the delimiters
+  bool quoted = false;   // "..." (our tree) vs <...> (system)
+};
+
+/// Per-file scan state shared by every rule pass.
+struct FileScan {
+  const SourceFile* file = nullptr;
+  std::string stripped;
+  std::vector<Annotation> annotations;
+  std::vector<std::size_t> line_starts;   // byte offset of each 1-based line
+  std::vector<IncludeDirective> includes;
+  std::vector<std::size_t> bracket_match;  // token tree: match[i] = partner offset
+};
+
+[[nodiscard]] std::size_t line_of(const FileScan& fs, std::size_t offset);
+
+[[nodiscard]] FileScan scan_file(const SourceFile& file);
+
+/// Token-tree construction: for every (), [], {} bracket in the stripped
+/// text, match[i] holds the offset of its partner (npos for unmatched
+/// brackets and every non-bracket byte). Angle brackets are excluded — they
+/// are ambiguous without full parsing and handled locally by skip_angles.
+[[nodiscard]] std::vector<std::size_t> match_brackets(const std::string& stripped);
+
+/// Walks a balanced <...> template argument list starting at the '<'.
+/// Returns the offset one past the matching '>', or npos when unbalanced.
+[[nodiscard]] std::size_t skip_angles(const std::string& s, std::size_t open);
+
+/// Returns the offset one past the bracket matching `open_ch` at `open`.
+[[nodiscard]] std::size_t skip_balanced(const std::string& s, std::size_t open,
+                                        char open_ch, char close_ch);
+
+[[nodiscard]] std::size_t skip_ws(const std::string& s, std::size_t i);
+
+}  // namespace carbonedge::lint

@@ -1,606 +1,67 @@
+// Engine of carbonedge_lint: the rule registry, the suppression and
+// allowlist machinery, and run_lint_full() tying the lexer and the three
+// rule families (determinism, dataflow, architecture) together. The rule
+// implementations live in rules_*.cpp; output rendering in report.cpp.
 #include "lint.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
-#include <map>
-#include <optional>
-#include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
+
+#include "lexer.hpp"
+#include "rules_architecture.hpp"
+#include "rules_dataflow.hpp"
+#include "rules_determinism.hpp"
 
 namespace carbonedge::lint {
 
-namespace {
-
-[[nodiscard]] bool ident_char(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-struct Comment {
-  std::string text;
-  std::size_t end_line = 0;  // 1-based line the comment ends on
-};
-
-struct LexResult {
-  std::string stripped;
-  std::vector<Comment> comments;
-};
-
-/// One pass over the raw bytes: comments are collected (for annotation
-/// extraction) and blanked, string/char/raw-string literal *contents* are
-/// blanked (delimiters kept), everything else is copied through. Line
-/// structure is preserved exactly so offsets map 1:1 onto line numbers.
-LexResult lex(std::string_view src) {
-  LexResult out;
-  out.stripped.reserve(src.size());
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  std::size_t line = 1;
-  const auto put = [&](char c) { out.stripped.push_back(c); };
-  const auto blank = [&](char c) {
-    if (c == '\n') {
-      put('\n');
-      ++line;
-    } else {
-      put(' ');
-    }
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "nondeterminism-ok",
+       "banned nondeterminism primitive (rand, entropy, clocks, thread id, "
+       "pointer-keyed ordered container)"},
+      {"D2", "unordered-iteration-ok",
+       "iteration over an unordered container: bucket order leaks into output"},
+      {"D3", "parallel-state-ok",
+       "RNG draw or shared-member mutation inside a parallel section"},
+      {"D4", "float-ok", "`float` in an accounting/telemetry path (double contract)"},
+      {"D5", "getenv-ok", "raw getenv outside the util::env shim"},
+      {"D6", "slot-write-ok",
+       "write in a parallel section that is not a verified disjoint-slot write"},
+      {"D7", "ordered-fold-ok",
+       "order-sensitive accumulation (parallel section or unordered iteration)"},
+      {"D8", "raw-lock-ok", "raw lock()/unlock() call outside an RAII guard"},
+      {"H1", "header-ok", "header hygiene: `#pragma once`, no `using namespace`"},
+      {"A1", "layer-dep-ok",
+       "cross-module include not allowed by the layer DAG (layers.txt)"},
+      {"A2", "include-cycle-ok", "include cycle among the tree's own files"},
+      {"A3", "test-include-ok", "src/ including from bench/, tests/, or examples/"},
+      {"A4", "unused-include-ok",
+       "unused include: the header contributes no referenced name"},
+      {"A5", "transitive-include-ok",
+       "symbol used directly but its header is only included transitively"},
   };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      put('\n');
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {  // line comment
-      put('/');
-      put('/');
-      i += 2;
-      std::string text;
-      while (i < n && src[i] != '\n') {
-        text.push_back(src[i]);
-        put(' ');
-        ++i;
-      }
-      out.comments.push_back({std::move(text), line});
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {  // block comment
-      put('/');
-      put('*');
-      i += 2;
-      std::string text;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        text.push_back(src[i]);
-        blank(src[i]);
-        ++i;
-      }
-      if (i + 1 < n) {
-        put('*');
-        put('/');
-        i += 2;
-      } else if (i < n) {  // unterminated: swallow the final char
-        text.push_back(src[i]);
-        blank(src[i]);
-        ++i;
-      }
-      out.comments.push_back({std::move(text), line});
-      continue;
-    }
-    if (c == '"') {
-      // Raw string? Look back over an optional encoding prefix for an R
-      // that is not the tail of a longer identifier.
-      bool raw = false;
-      if (i >= 1 && src[i - 1] == 'R') {
-        std::size_t start = i - 1;  // candidate prefix start
-        if (start >= 1 && (src[start - 1] == 'u' || src[start - 1] == 'U' ||
-                           src[start - 1] == 'L')) {
-          --start;
-        } else if (start >= 2 && src[start - 1] == '8' && src[start - 2] == 'u') {
-          start -= 2;
-        }
-        raw = start == 0 || !ident_char(src[start - 1]);
-      }
-      if (raw) {
-        // Validate the delimiter: raw-string syntax is R"delim( ... )delim".
-        std::size_t d = i + 1;
-        while (d < n && d - (i + 1) <= 16 && src[d] != '(' && src[d] != ')' &&
-               src[d] != '\\' && src[d] != '"' && src[d] != '\n' && src[d] != ' ') {
-          ++d;
-        }
-        if (d < n && src[d] == '(') {
-          const std::string terminator =
-              ")" + std::string(src.substr(i + 1, d - (i + 1))) + "\"";
-          put('"');
-          ++i;
-          while (i < d + 1) {  // delimiter + '(' kept verbatim
-            put(src[i]);
-            ++i;
-          }
-          const std::size_t end = src.find(terminator, i);
-          const std::size_t stop = end == std::string_view::npos ? n : end;
-          while (i < stop) {
-            blank(src[i]);
-            ++i;
-          }
-          for (std::size_t k = 0; k < terminator.size() && i < n; ++k, ++i) put(src[i]);
-          continue;
-        }
-        // No valid delimiter: fall through and treat it as an ordinary
-        // string (it was something like MACRO_ENDING_IN_R "...").
-      }
-      put('"');
-      ++i;
-      while (i < n && src[i] != '"' && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
-          put(' ');
-          put(' ');
-          i += 2;
-          continue;
-        }
-        put(' ');
-        ++i;
-      }
-      if (i < n && src[i] == '"') {
-        put('"');
-        ++i;
-      }
-      continue;
-    }
-    if (c == '\'') {
-      // A quote glued to an identifier/number is a digit separator
-      // (1'000'000), not a character literal.
-      if (i >= 1 && ident_char(src[i - 1])) {
-        put('\'');
-        ++i;
-        continue;
-      }
-      put('\'');
-      ++i;
-      while (i < n && src[i] != '\'' && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
-          put(' ');
-          put(' ');
-          i += 2;
-          continue;
-        }
-        put(' ');
-        ++i;
-      }
-      if (i < n && src[i] == '\'') {
-        put('\'');
-        ++i;
-      }
-      continue;
-    }
-    put(c);
-    ++i;
-  }
-  return out;
+  return kRules;
 }
 
-/// Suppression token -> rule id. Everything the engine accepts is here; an
-/// unknown token in an annotation is itself a LINT error.
 const std::map<std::string, std::string>& token_rules() {
-  static const std::map<std::string, std::string> kMap = {
-      {"nondeterminism-ok", "D1"}, {"unordered-iteration-ok", "D2"},
-      {"parallel-state-ok", "D3"}, {"float-ok", "D4"},
-      {"getenv-ok", "D5"},         {"header-ok", "H1"},
-  };
+  static const std::map<std::string, std::string> kMap = [] {
+    std::map<std::string, std::string> map;
+    for (const RuleInfo& rule : rules()) map[rule.token] = rule.id;
+    return map;
+  }();
   return kMap;
 }
 
+namespace {
+
 [[nodiscard]] bool known_rule(std::string_view rule) {
-  for (const auto& [token, id] : token_rules()) {
-    (void)token;
-    if (id == rule) return true;
+  for (const RuleInfo& info : rules()) {
+    if (info.id == rule) return true;
   }
   return false;
-}
-
-void parse_annotation_text(const Comment& comment, std::vector<Annotation>& out) {
-  const std::size_t pos = comment.text.find("lint:");
-  if (pos == std::string::npos) return;
-  Annotation ann;
-  ann.line = comment.end_line;
-  std::size_t i = pos + 5;
-  const std::string& text = comment.text;
-  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
-  while (i < text.size() &&
-         (std::isalnum(static_cast<unsigned char>(text[i])) != 0 || text[i] == '-')) {
-    ann.token.push_back(text[i]);
-    ++i;
-  }
-  if (ann.token.empty()) {
-    ann.malformed = true;
-    ann.error = "annotation is missing a suppression token (want `lint: <token>(<reason>)`)";
-    out.push_back(std::move(ann));
-    return;
-  }
-  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
-  if (i >= text.size() || text[i] != '(') {
-    ann.malformed = true;
-    ann.error = "suppression `" + ann.token + "` has no (<reason>) — every escape hatch " +
-                "must say why";
-    out.push_back(std::move(ann));
-    return;
-  }
-  ++i;
-  std::size_t depth = 1;
-  while (i < text.size() && depth > 0) {
-    if (text[i] == '(') ++depth;
-    if (text[i] == ')') {
-      --depth;
-      if (depth == 0) break;
-    }
-    ann.reason.push_back(text[i]);
-    ++i;
-  }
-  if (depth != 0) {
-    ann.malformed = true;
-    ann.error = "suppression `" + ann.token + "` has an unterminated (<reason>)";
-    out.push_back(std::move(ann));
-    return;
-  }
-  const auto first = ann.reason.find_first_not_of(" \t");
-  const auto last = ann.reason.find_last_not_of(" \t");
-  ann.reason = first == std::string::npos ? "" : ann.reason.substr(first, last - first + 1);
-  if (ann.reason.empty()) {
-    ann.malformed = true;
-    ann.error = "suppression `" + ann.token + "` has an empty reason";
-    out.push_back(std::move(ann));
-    return;
-  }
-  if (token_rules().find(ann.token) == token_rules().end()) {
-    ann.malformed = true;
-    ann.error = "unknown suppression token `" + ann.token + "`";
-  }
-  out.push_back(std::move(ann));
-}
-
-/// Per-file scan state shared by the rule passes.
-struct FileScan {
-  const SourceFile* file = nullptr;
-  std::string stripped;
-  std::vector<Annotation> annotations;
-  std::vector<std::size_t> line_starts;  // byte offset of each 1-based line
-};
-
-[[nodiscard]] std::size_t line_of(const FileScan& fs, std::size_t offset) {
-  const auto it =
-      std::upper_bound(fs.line_starts.begin(), fs.line_starts.end(), offset);
-  return static_cast<std::size_t>(it - fs.line_starts.begin());
-}
-
-FileScan scan_file(const SourceFile& file) {
-  FileScan fs;
-  fs.file = &file;
-  LexResult lexed = lex(file.content);
-  fs.stripped = std::move(lexed.stripped);
-  for (const Comment& comment : lexed.comments) {
-    parse_annotation_text(comment, fs.annotations);
-  }
-  fs.line_starts.push_back(0);
-  for (std::size_t i = 0; i < fs.stripped.size(); ++i) {
-    if (fs.stripped[i] == '\n') fs.line_starts.push_back(i + 1);
-  }
-  return fs;
-}
-
-/// Walks a balanced <...> template argument list starting at the '<'.
-/// Returns the offset one past the matching '>', or npos when unbalanced.
-[[nodiscard]] std::size_t skip_angles(const std::string& s, std::size_t open) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>') {
-      if (depth == 0) return std::string::npos;
-      if (--depth == 0) return i + 1;
-    }
-    if (s[i] == ';') return std::string::npos;  // statement ended: not a template
-  }
-  return std::string::npos;
-}
-
-[[nodiscard]] std::size_t skip_balanced(const std::string& s, std::size_t open,
-                                        char open_ch, char close_ch) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == open_ch) ++depth;
-    if (s[i] == close_ch && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-[[nodiscard]] std::size_t skip_ws(const std::string& s, std::size_t i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
-  return i;
-}
-
-// ------------------------------------------------------------------- D2 --
-
-/// Records every variable declared as an unordered associative container.
-/// Members declared in one file (a header) are iterated in another (the
-/// matching .cpp), so the name set is collected tree-wide before any rule
-/// runs.
-void collect_unordered_names(const FileScan& fs, std::set<std::string>& names) {
-  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
-  const std::string& s = fs.stripped;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kDecl);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t open = static_cast<std::size_t>(it->position()) + it->length() - 1;
-    std::size_t i = skip_angles(s, open);
-    if (i == std::string::npos) continue;
-    i = skip_ws(s, i);
-    while (i < s.size() && (s[i] == '&' || s[i] == '*')) i = skip_ws(s, i + 1);
-    std::string name;
-    while (i < s.size() && ident_char(s[i])) name.push_back(s[i++]);
-    if (name.empty()) continue;
-    i = skip_ws(s, i);
-    if (i < s.size() && s[i] == '(') continue;  // a function returning the container
-    names.insert(std::move(name));
-  }
-}
-
-void rule_d2(const FileScan& fs, const std::set<std::string>& unordered_names,
-             std::vector<Finding>& findings) {
-  // The range expression may qualify the container (`cache.entries_`,
-  // `self->hosted_`): the trailing identifier is the name that matters.
-  static const std::regex kRangeFor(
-      R"(\bfor\s*\([^();]*[^();:]:\s*(?:[A-Za-z_][A-Za-z0-9_]*\s*(?:\.|->)\s*)*([A-Za-z_][A-Za-z0-9_]*)\s*\))");
-  static const std::regex kBegin(R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?begin\s*\()");
-  const std::string& s = fs.stripped;
-  for (const std::regex* re : {&kRangeFor, &kBegin}) {
-    for (auto it = std::sregex_iterator(s.begin(), s.end(), *re);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1].str();
-      if (unordered_names.find(name) == unordered_names.end()) continue;
-      findings.push_back(
-          {fs.file->path, line_of(fs, static_cast<std::size_t>(it->position(1))), "D2",
-           "iteration over unordered container `" + name +
-               "`: accumulate/emit via a serial snapshot, or annotate why bucket "
-               "order cannot leak into output"});
-    }
-  }
-}
-
-// ------------------------------------------------------------------- D3 --
-
-struct Region {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-/// Parses a lambda literal whose '[' is at `open`; returns the body extent.
-[[nodiscard]] std::optional<Region> lambda_body(const std::string& s, std::size_t open) {
-  std::size_t i = skip_balanced(s, open, '[', ']');
-  if (i == std::string::npos) return std::nullopt;
-  i = skip_ws(s, i);
-  if (i < s.size() && s[i] == '(') {
-    i = skip_balanced(s, i, '(', ')');
-    if (i == std::string::npos) return std::nullopt;
-  }
-  // Skip specifiers (mutable, noexcept, -> Type) up to the body.
-  while (i < s.size() && s[i] != '{') {
-    if (s[i] == ';' || s[i] == ',' || s[i] == ')') return std::nullopt;  // not a lambda
-    ++i;
-  }
-  if (i >= s.size()) return std::nullopt;
-  const std::size_t close = skip_balanced(s, i, '{', '}');
-  if (close == std::string::npos) return std::nullopt;
-  return Region{i + 1, close - 1};
-}
-
-/// Finds every code region that executes on worker lanes: bodies of lambda
-/// literals passed (directly, or via a named `auto body = [...]` variable)
-/// to parallel_items / parallel_for / ThreadPool::submit.
-[[nodiscard]] std::vector<Region> parallel_regions(const std::string& s) {
-  // Named lambdas declared in this file.
-  static const std::regex kNamedLambda(R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*=\s*\[)");
-  std::map<std::string, Region> named;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kNamedLambda);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t open =
-        static_cast<std::size_t>(it->position()) + static_cast<std::size_t>(it->length()) - 1;
-    if (const auto body = lambda_body(s, open)) named[(*it)[1].str()] = *body;
-  }
-
-  static const std::regex kCall(R"(\b(?:parallel_items|parallel_for|submit)\s*\()");
-  std::vector<Region> regions;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kCall);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t open =
-        static_cast<std::size_t>(it->position()) + static_cast<std::size_t>(it->length()) - 1;
-    const std::size_t close = skip_balanced(s, open, '(', ')');
-    if (close == std::string::npos) continue;
-    // Inline lambda arguments.
-    for (std::size_t i = open + 1; i + 1 < close; ++i) {
-      if (s[i] != '[') continue;
-      std::size_t p = i;
-      while (p > open + 1 && std::isspace(static_cast<unsigned char>(s[p - 1])) != 0) --p;
-      const char prev = s[p - 1];
-      if (prev != '(' && prev != ',' && prev != '&' && prev != '=') continue;
-      if (const auto body = lambda_body(s, i)) regions.push_back(*body);
-    }
-    // Named-lambda arguments.
-    std::string token;
-    for (std::size_t i = open + 1; i <= close && i < s.size(); ++i) {
-      if (i < close && ident_char(s[i])) {
-        token.push_back(s[i]);
-        continue;
-      }
-      const auto found = named.find(token);
-      if (found != named.end()) regions.push_back(found->second);
-      token.clear();
-    }
-  }
-  std::sort(regions.begin(), regions.end(),
-            [](const Region& a, const Region& b) { return a.begin < b.begin; });
-  regions.erase(std::unique(regions.begin(), regions.end(),
-                            [](const Region& a, const Region& b) {
-                              return a.begin == b.begin && a.end == b.end;
-                            }),
-                regions.end());
-  return regions;
-}
-
-void rule_d3(const FileScan& fs, std::vector<Finding>& findings) {
-  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
-  static const std::array<std::pair<std::regex, const char*>, 4> kMutations = {{
-      {std::regex(R"((?:\+\+|--)\s*([A-Za-z_][A-Za-z0-9_]*_)\b)"),
-       "mutation of shared member `%` inside a parallel section"},
-      {std::regex(R"(\b([A-Za-z_][A-Za-z0-9_]*_)\s*(?:\+\+|--))"),
-       "mutation of shared member `%` inside a parallel section"},
-      {std::regex(R"(\b([A-Za-z_][A-Za-z0-9_]*_)\s*(?:[-+*/|&^]=|=(?!=)))"),
-       "assignment to shared member `%` inside a parallel section (workers may "
-       "only write disjoint slots, e.g. `%[k] = ...`)"},
-      {std::regex(
-           R"(\b([A-Za-z_][A-Za-z0-9_]*_)\s*\.\s*(?:push_back|pop_back|emplace_back|emplace|insert|insert_or_assign|erase|clear|resize|assign|reserve)\s*\()"),
-       "container mutation of shared member `%` inside a parallel section"},
-  }};
-  const std::string& s = fs.stripped;
-  std::vector<Finding> raw;
-  for (const Region& region : parallel_regions(s)) {
-    const std::string body = s.substr(region.begin, region.end - region.begin);
-    // RNG draws: any identifier naming an Rng (the repo convention always
-    // spells it out: rng, failure_rng_, Rng, ...).
-    for (auto it = std::sregex_iterator(body.begin(), body.end(), kIdent);
-         it != std::sregex_iterator(); ++it) {
-      std::string word = it->str();
-      std::transform(word.begin(), word.end(), word.begin(),
-                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-      if (word.find("rng") == std::string::npos) continue;
-      raw.push_back({fs.file->path,
-                     line_of(fs, region.begin + static_cast<std::size_t>(it->position())),
-                     "D3",
-                     "RNG use `" + it->str() +
-                         "` inside a parallel section: every draw belongs to the "
-                         "coordinating thread (pre-draw into per-item slots)"});
-    }
-    for (const auto& [re, message] : kMutations) {
-      for (auto it = std::sregex_iterator(body.begin(), body.end(), re);
-           it != std::sregex_iterator(); ++it) {
-        std::string msg = message;
-        std::size_t pos = 0;
-        while ((pos = msg.find('%', pos)) != std::string::npos) {
-          msg.replace(pos, 1, (*it)[1].str());
-          pos += (*it)[1].str().size();
-        }
-        raw.push_back({fs.file->path,
-                       line_of(fs, region.begin + static_cast<std::size_t>(it->position(1))),
-                       "D3", std::move(msg)});
-      }
-    }
-  }
-  // Nested/duplicated regions (a named lambda used twice) may double-report.
-  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.line, a.message) < std::tie(b.line, b.message);
-  });
-  raw.erase(std::unique(raw.begin(), raw.end(),
-                        [](const Finding& a, const Finding& b) {
-                          return a.line == b.line && a.message == b.message;
-                        }),
-            raw.end());
-  findings.insert(findings.end(), raw.begin(), raw.end());
-}
-
-// ------------------------------------------------------------- D1/D4/D5 --
-
-void rule_d1(const FileScan& fs, std::vector<Finding>& findings) {
-  static const std::array<std::pair<std::regex, const char*>, 5> kBanned = {{
-      {std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"),
-       "std::rand/srand: implementation-defined global RNG; use a config-seeded "
-       "util::Rng"},
-      {std::regex(R"(\brandom_device\b)"),
-       "std::random_device draws host entropy; every seed must come from the "
-       "config so runs replay"},
-      {std::regex(R"(\b(?:[A-Za-z_][A-Za-z0-9_]*_clock|clock)\s*::\s*now\s*\()"),
-       "clock read: wall/steady time must never influence simulation output"},
-      {std::regex(R"(\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"),
-       "time(): wall time must never influence simulation output"},
-      {std::regex(R"(\bthis_thread\s*::\s*get_id\b)"),
-       "thread identity: behavior must not depend on which lane runs an item"},
-  }};
-  const std::string& s = fs.stripped;
-  for (const auto& [re, message] : kBanned) {
-    for (auto it = std::sregex_iterator(s.begin(), s.end(), re);
-         it != std::sregex_iterator(); ++it) {
-      findings.push_back({fs.file->path,
-                          line_of(fs, static_cast<std::size_t>(it->position())), "D1",
-                          message});
-    }
-  }
-  // Pointer-keyed ordered containers: iteration order is allocation order.
-  static const std::regex kOrdered(R"(\bstd\s*::\s*(?:multi)?(?:map|set)\s*<)");
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kOrdered);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t open =
-        static_cast<std::size_t>(it->position()) + static_cast<std::size_t>(it->length()) - 1;
-    std::size_t depth = 0;
-    bool pointer_key = false;
-    for (std::size_t i = open; i < s.size(); ++i) {
-      if (s[i] == '<') ++depth;
-      if (s[i] == '>' && --depth == 0) break;
-      if (s[i] == ';') break;
-      if (s[i] == ',' && depth == 1) break;  // end of the key argument
-      if (s[i] == '*') pointer_key = true;
-    }
-    if (pointer_key) {
-      findings.push_back(
-          {fs.file->path, line_of(fs, static_cast<std::size_t>(it->position())), "D1",
-           "ordered container keyed on a pointer: iteration order is allocation "
-           "order — key on a stable id instead"});
-    }
-  }
-}
-
-void rule_d4(const FileScan& fs, std::vector<Finding>& findings) {
-  const std::string& path = fs.file->path;
-  const bool accounting_path =
-      path.rfind("src/sim/", 0) == 0 || path.rfind("src/core/", 0) == 0;
-  if (!accounting_path) return;
-  static const std::regex kFloat(R"(\bfloat\b)");
-  const std::string& s = fs.stripped;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kFloat);
-       it != std::sregex_iterator(); ++it) {
-    findings.push_back({path, line_of(fs, static_cast<std::size_t>(it->position())), "D4",
-                        "`float` in an accounting/telemetry path: the store codecs "
-                        "and the replay oracle are a bit-exact double contract"});
-  }
-}
-
-void rule_d5(const FileScan& fs, std::vector<Finding>& findings) {
-  static const std::regex kGetenv(R"(\bgetenv\b)");
-  const std::string& s = fs.stripped;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kGetenv);
-       it != std::sregex_iterator(); ++it) {
-    findings.push_back({fs.file->path,
-                        line_of(fs, static_cast<std::size_t>(it->position())), "D5",
-                        "raw getenv: environment reads go through util::env so every "
-                        "input the process consumes is auditable in one place"});
-  }
-}
-
-void rule_h1(const FileScan& fs, std::vector<Finding>& findings) {
-  const std::string& path = fs.file->path;
-  const bool header = path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
-                                           path.rfind(".h") == path.size() - 2);
-  if (!header) return;
-  static const std::regex kPragmaOnce(R"(#\s*pragma\s+once\b)");
-  if (!std::regex_search(fs.stripped, kPragmaOnce)) {
-    findings.push_back({path, 1, "H1", "header is missing `#pragma once`"});
-  }
-  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
-  const std::string& s = fs.stripped;
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), kUsingNamespace);
-       it != std::sregex_iterator(); ++it) {
-    findings.push_back({path, line_of(fs, static_cast<std::size_t>(it->position())), "H1",
-                        "`using namespace` in a header leaks into every includer"});
-  }
 }
 
 }  // namespace
@@ -652,8 +113,19 @@ std::vector<AllowlistEntry> parse_allowlist(std::string_view content, std::strin
   return entries;
 }
 
-std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
-                              std::vector<AllowlistEntry>& allowlist) {
+LintOutput run_lint_full(const std::vector<SourceFile>& files,
+                         std::vector<AllowlistEntry>& allowlist,
+                         const LintConfig& config) {
+  LintOutput out;
+
+  std::set<std::string> enabled_set(config.rules.begin(), config.rules.end());
+  const auto enabled = [&](const std::string& rule) {
+    return rule == "LINT" || enabled_set.empty() || enabled_set.count(rule) != 0;
+  };
+
+  const LayerGraph layers =
+      parse_layers(config.layers_text, config.layers_label, out.findings);
+
   std::vector<FileScan> scans;
   scans.reserve(files.size());
   std::set<std::string> unordered_names;
@@ -662,65 +134,110 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
     collect_unordered_names(scans.back(), unordered_names);
   }
 
-  std::vector<Finding> findings;
-  for (FileScan& fs : scans) {
-    std::vector<Finding> raw;
+  // Raw findings from every pass, then the architecture pass (tree-wide).
+  std::vector<Finding> raw;
+  for (const FileScan& fs : scans) {
     rule_d1(fs, raw);
     rule_d2(fs, unordered_names, raw);
     rule_d3(fs, raw);
     rule_d4(fs, raw);
     rule_d5(fs, raw);
+    rule_d6(fs, raw);
+    rule_d7(fs, unordered_names, raw);
+    rule_d8(fs, raw);
     rule_h1(fs, raw);
+  }
+  ArchOutput arch = run_architecture(scans, layers);
+  out.module_graph_dot = std::move(arch.graph_dot);
 
-    for (Finding& finding : raw) {
-      bool suppressed = false;
-      for (Annotation& ann : fs.annotations) {
+  // Pair each A4/A5 finding with the mechanical edit it produced (they are
+  // appended in lockstep) so only edits for *surviving* findings are kept.
+  std::vector<std::pair<Finding, std::size_t>> arch_findings;  // finding, edit or npos
+  {
+    std::size_t next_edit = 0;
+    for (Finding& finding : arch.findings) {
+      std::size_t edit = std::string::npos;
+      if (finding.rule == "A4" || finding.rule == "A5") edit = next_edit++;
+      arch_findings.emplace_back(std::move(finding), edit);
+    }
+  }
+
+  std::map<std::string, FileScan*> scan_of;
+  for (FileScan& fs : scans) scan_of[fs.file->path] = &fs;
+
+  const auto suppressed = [&](const Finding& finding) {
+    const auto found = scan_of.find(finding.file);
+    if (found != scan_of.end()) {
+      for (Annotation& ann : found->second->annotations) {
         if (ann.malformed) continue;
         const auto rule = token_rules().find(ann.token);
         if (rule == token_rules().end() || rule->second != finding.rule) continue;
         if (finding.line == ann.line || finding.line == ann.line + 1) {
           ann.used = true;
-          suppressed = true;
+          return true;
         }
       }
-      if (!suppressed) {
-        for (AllowlistEntry& entry : allowlist) {
-          if (entry.rule == finding.rule && entry.path == finding.file) {
-            entry.used = true;
-            suppressed = true;
-          }
-        }
-      }
-      if (!suppressed) findings.push_back(std::move(finding));
     }
+    for (AllowlistEntry& entry : allowlist) {
+      if (entry.rule == finding.rule && entry.path == finding.file) {
+        entry.used = true;
+        return true;
+      }
+    }
+    return false;
+  };
 
-    // The escape hatches are themselves linted: malformed annotations and
-    // suppressions that matched nothing are errors, so stale exemptions can
-    // never accumulate.
+  for (Finding& finding : raw) {
+    if (!enabled(finding.rule)) continue;
+    if (!suppressed(finding)) out.findings.push_back(std::move(finding));
+  }
+  for (auto& [finding, edit] : arch_findings) {
+    if (!enabled(finding.rule)) continue;
+    if (suppressed(finding)) continue;
+    if (edit != std::string::npos) out.edits.push_back(std::move(arch.edits[edit]));
+    out.findings.push_back(std::move(finding));
+  }
+
+  // The escape hatches are themselves linted: malformed annotations and
+  // suppressions that matched nothing are errors, so stale exemptions can
+  // never accumulate. Suppressions for rules the caller filtered out are
+  // left alone — a partial run must not condemn the other rules' hatches.
+  for (const FileScan& fs : scans) {
     for (const Annotation& ann : fs.annotations) {
       if (ann.malformed) {
-        findings.push_back({fs.file->path, ann.line, "LINT", ann.error});
-      } else if (!ann.used) {
-        findings.push_back({fs.file->path, ann.line, "LINT",
-                            "unused suppression `" + ann.token +
-                                "`: no " + token_rules().at(ann.token) +
-                                " finding on this or the next line — remove it"});
+        out.findings.push_back({fs.file->path, ann.line, "LINT", ann.error});
+      } else if (!ann.used && enabled(token_rules().at(ann.token))) {
+        out.findings.push_back({fs.file->path, ann.line, "LINT",
+                                "unused suppression `" + ann.token +
+                                    "`: no " + token_rules().at(ann.token) +
+                                    " finding on this or the next line — remove it"});
       }
     }
   }
   for (const AllowlistEntry& entry : allowlist) {
-    if (!entry.used) {
-      findings.push_back({"allowlist", entry.line, "LINT",
-                          "unused allowlist entry `" + entry.rule + " " + entry.path +
-                              "`: no such finding — remove it"});
+    if (!entry.used && enabled(entry.rule)) {
+      out.findings.push_back({"allowlist", entry.line, "LINT",
+                              "unused allowlist entry `" + entry.rule + " " + entry.path +
+                                  "`: no such finding — remove it"});
     }
   }
 
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule, a.message) <
-           std::tie(b.file, b.line, b.rule, b.message);
-  });
-  return findings;
+  std::sort(out.findings.begin(), out.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  std::sort(out.edits.begin(), out.edits.end(),
+            [](const IncludeEdit& a, const IncludeEdit& b) {
+              return std::tie(a.file, a.line, a.rule, a.text) <
+                     std::tie(b.file, b.line, b.rule, b.text);
+            });
+  return out;
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                              std::vector<AllowlistEntry>& allowlist) {
+  return run_lint_full(files, allowlist, {}).findings;
 }
 
 }  // namespace carbonedge::lint

@@ -1,0 +1,167 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace carbonedge::lint {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  if (!findings.empty()) out << "\n";
+  out << "]}\n";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+         "master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"carbonedge_lint\",\n"
+      << "      \"informationUri\": \"tools/lint\",\n"
+      << "      \"rules\": [";
+  const std::vector<RuleInfo>& catalog = rules();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n        {\"id\": \"" << json_escape(catalog[i].id)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(catalog[i].summary)
+        << "\"}}";
+  }
+  out << "\n      ]\n"
+      << "    }},\n"
+      << "    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "\n      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << (f.line == 0 ? 1 : f.line)
+        << "}}}]}";
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return out.str();
+}
+
+std::string baseline_key(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + finding.message;
+}
+
+std::set<std::string> parse_baseline(std::string_view text) {
+  std::set<std::string> keys;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(baseline_key(f));
+  std::string out =
+      "# carbonedge_lint baseline: one `rule|file|message` key per line.\n"
+      "# A finding matching a key is reported but does not gate; regenerate\n"
+      "# with --write-baseline only to ratchet DOWN, never to bury new debt.\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
+                                     const std::set<std::string>& baseline) {
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    if (baseline.count(baseline_key(f)) == 0) fresh.push_back(f);
+  }
+  return fresh;
+}
+
+std::string to_unified_diff(const std::vector<IncludeEdit>& edits,
+                            const std::vector<SourceFile>& files) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : files) by_path[file.path] = &file;
+
+  std::map<std::string, std::vector<IncludeEdit>> per_file;
+  for (const IncludeEdit& edit : edits) per_file[edit.file].push_back(edit);
+
+  std::ostringstream out;
+  for (auto& [path, file_edits] : per_file) {
+    const auto found = by_path.find(path);
+    if (found == by_path.end()) continue;
+    std::vector<std::string> lines;
+    {
+      std::istringstream stream(found->second->content);
+      std::string line;
+      while (std::getline(stream, line)) lines.push_back(line);
+    }
+    std::stable_sort(file_edits.begin(), file_edits.end(),
+                     [](const IncludeEdit& a, const IncludeEdit& b) {
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.remove && !b.remove;  // removals before inserts
+                     });
+    out << "--- " << path << "\n+++ " << path << "\n";
+    long delta = 0;  // lines added minus removed so far, for new-file offsets
+    for (const IncludeEdit& edit : file_edits) {
+      const long old_line = static_cast<long>(edit.line);
+      if (edit.remove) {
+        if (edit.line == 0 || edit.line > lines.size()) continue;
+        out << "@@ -" << old_line << ",1 +" << (old_line - 1 + delta) << ",0 @@\n";
+        out << "-" << lines[edit.line - 1] << "\n";
+        --delta;
+      } else {
+        out << "@@ -" << (old_line - 1) << ",0 +" << (old_line + delta) << ",1 @@\n";
+        out << "+" << edit.text << "\n";
+        ++delta;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace carbonedge::lint

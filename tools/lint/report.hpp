@@ -1,0 +1,37 @@
+// Output back-ends for the linter: the classic text lines, machine-readable
+// JSON, SARIF 2.1.0 (consumed by the CI code-scanning upload), the
+// ratcheting baseline, and the unified diff `--fix-includes` prints.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace carbonedge::lint {
+
+/// `{"findings": [{"file", "line", "rule", "message"}, ...]}`.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// Minimal SARIF 2.1.0 document: one run, one driver, one result per
+/// finding with ruleId / level / message / physical location.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Baseline keys are `rule|file|message` — deliberately line-free so that
+/// unrelated edits shifting a file do not resurrect baselined findings.
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+[[nodiscard]] std::set<std::string> parse_baseline(std::string_view text);
+[[nodiscard]] std::string write_baseline(const std::vector<Finding>& findings);
+
+/// Findings whose key is NOT in the baseline (the ones that gate).
+[[nodiscard]] std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
+                                                   const std::set<std::string>& baseline);
+
+/// Renders A4 removals / A5 insertions as one unified diff (zero context,
+/// `patch -p0`-applicable from the lint root).
+[[nodiscard]] std::string to_unified_diff(const std::vector<IncludeEdit>& edits,
+                                          const std::vector<SourceFile>& files);
+
+}  // namespace carbonedge::lint

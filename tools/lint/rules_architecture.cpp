@@ -1,0 +1,612 @@
+#include "rules_architecture.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace carbonedge::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(std::string text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  const auto last = text.find_last_not_of(" \t\r");
+  return first == std::string::npos ? "" : text.substr(first, last - first + 1);
+}
+
+[[nodiscard]] std::string dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? "" : std::string(path.substr(0, slash));
+}
+
+[[nodiscard]] std::string basename_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return std::string(slash == std::string_view::npos ? path : path.substr(slash + 1));
+}
+
+[[nodiscard]] std::string stem_of(std::string_view path) {
+  std::string base = basename_of(path);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+[[nodiscard]] bool is_header(std::string_view path) {
+  return path.size() >= 2 &&
+         (path.rfind(".hpp") == path.size() - 4 || path.rfind(".hh") == path.size() - 3 ||
+          path.rfind(".h") == path.size() - 2);
+}
+
+[[nodiscard]] std::set<std::string> ident_set(const std::string& stripped) {
+  std::set<std::string> tokens;
+  std::size_t i = 0;
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::string token;
+      while (i < stripped.size() && ident_char(stripped[i])) token.push_back(stripped[i++]);
+      tokens.insert(std::move(token));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      while (i < stripped.size() && ident_char(stripped[i])) ++i;  // skip numbers
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// The identifier token immediately before offset `at` (skipping
+/// whitespace), or "" when the preceding token is not an identifier.
+[[nodiscard]] std::string ident_before(const std::string& text, std::size_t at) {
+  std::size_t i = at;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1])) != 0) --i;
+  std::size_t end = i;
+  while (i > 0 && ident_char(text[i - 1])) --i;
+  return text.substr(i, end - i);
+}
+
+[[nodiscard]] std::vector<std::string> word_tokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (std::isalpha(static_cast<unsigned char>(text[i])) != 0 || text[i] == '_') {
+      std::string token;
+      while (i < text.size() && ident_char(text[i])) token.push_back(text[i++]);
+      tokens.push_back(std::move(token));
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// Collects exports out of one namespace-scope "statement" that ended in
+/// `;` (terminator == ';') or `{` (terminator == '{').
+void collect_statement(const std::string& buffer, char terminator,
+                       std::set<std::string>& exports) {
+  const std::vector<std::string> tokens = word_tokens(buffer);
+  if (tokens.empty()) return;
+
+  // Type definitions / forward declarations. The name follows the *last*
+  // class/struct/enum/union keyword (`template <class T> struct Foo`).
+  std::size_t kw = tokens.size();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "class" || tokens[i] == "struct" || tokens[i] == "union" ||
+        tokens[i] == "enum") {
+      kw = i;
+    }
+  }
+  if (kw != tokens.size()) {
+    if (terminator == ';') return;  // forward declaration exports nothing
+    if (kw + 1 < tokens.size()) exports.insert(tokens[kw + 1]);
+    return;
+  }
+  if (tokens.front() == "using") {
+    if (tokens.size() >= 2 && tokens[1] != "namespace") exports.insert(tokens[1]);
+    return;
+  }
+  if (tokens.front() == "typedef") {
+    exports.insert(tokens.back());
+    return;
+  }
+  if (tokens.front() == "template" || tokens.front() == "static_assert" ||
+      tokens.front() == "friend" || tokens.front() == "extern") {
+    // `extern "C"` blocks and bare template clauses carry no name of their
+    // own; a subsequent statement will.
+    if (tokens.size() == 1) return;
+  }
+
+  // `name = ...` (variables, incl. brace-init via '{'), tracked outside
+  // template argument lists so a default template argument's '=' is not a
+  // variable initializer.
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const char c = buffer[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (c == '=' && angle == 0 && paren == 0) {
+      if (i + 1 < buffer.size() && buffer[i + 1] == '=') break;
+      if (i > 0 && (buffer[i - 1] == '=' || buffer[i - 1] == '!' || buffer[i - 1] == '<' ||
+                    buffer[i - 1] == '>')) {
+        break;
+      }
+      const std::string name = ident_before(buffer, i);
+      if (!name.empty()) exports.insert(name);
+      return;
+    }
+  }
+
+  // `name(...)` — a function declaration or definition.
+  angle = 0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const char c = buffer[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(' && angle == 0) {
+      const std::string name = ident_before(buffer, i);
+      if (!name.empty()) exports.insert(name);
+      return;
+    }
+  }
+
+  // `Type name;` / `Type name{...}` — a variable without initializer, or a
+  // brace-initialized one.
+  if (tokens.size() >= 2) exports.insert(tokens.back());
+}
+
+}  // namespace
+
+std::string module_of(std::string_view path) {
+  if (path.rfind("src/", 0) == 0) {
+    const std::string_view rest = path.substr(4);
+    const std::size_t slash = rest.find('/');
+    return slash == std::string_view::npos ? "" : std::string(rest.substr(0, slash));
+  }
+  for (const char* top : {"tools", "bench", "examples", "tests"}) {
+    const std::string prefix = std::string(top) + "/";
+    if (path.rfind(prefix, 0) == 0) return top;
+  }
+  return "";
+}
+
+LayerGraph parse_layers(std::string_view text, std::string_view label,
+                        std::vector<Finding>& errors) {
+  LayerGraph graph;
+  if (text.empty()) return graph;
+  const std::size_t errors_before = errors.size();
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      errors.push_back({std::string(label), lineno, "LINT",
+                        "malformed layers line (want `module: dep dep ...`): `" + line +
+                            "`"});
+      continue;
+    }
+    const std::string module = trim(line.substr(0, colon));
+    if (module.empty() || module.find(' ') != std::string::npos) {
+      errors.push_back({std::string(label), lineno, "LINT",
+                        "malformed layers module name: `" + line + "`"});
+      continue;
+    }
+    if (graph.deps.count(module) != 0) {
+      errors.push_back({std::string(label), lineno, "LINT",
+                        "module `" + module + "` declared twice in layers"});
+      continue;
+    }
+    std::istringstream deps(line.substr(colon + 1));
+    std::string dep;
+    std::vector<std::string> list;
+    while (deps >> dep) list.push_back(dep);
+    graph.deps[module] = std::move(list);
+  }
+  for (const auto& [module, deps] : graph.deps) {
+    for (const std::string& dep : deps) {
+      if (graph.deps.count(dep) == 0) {
+        errors.push_back({std::string(label), 0, "LINT",
+                          "layer `" + module + "` depends on undeclared module `" + dep +
+                              "`"});
+      }
+      if (dep == module) {
+        errors.push_back({std::string(label), 0, "LINT",
+                          "layer `" + module + "` depends on itself"});
+      }
+    }
+  }
+
+  // Closure + cycle check over the declared graph (the declaration itself
+  // must be a DAG before it can police anything).
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs = [&](const std::string& module) {
+    color[module] = 1;
+    stack.push_back(module);
+    for (const std::string& dep : graph.deps[module]) {
+      if (graph.deps.count(dep) == 0) continue;
+      if (color[dep] == 0) {
+        dfs(dep);
+      } else if (color[dep] == 1) {
+        std::string chain;
+        for (auto it = std::find(stack.begin(), stack.end(), dep); it != stack.end();
+             ++it) {
+          chain += *it + " -> ";
+        }
+        errors.push_back({std::string(label), 0, "LINT",
+                          "layers declaration contains a cycle: " + chain + dep});
+      }
+      for (const std::string& reachable : graph.closure[dep]) {
+        graph.closure[module].insert(reachable);
+      }
+      graph.closure[module].insert(dep);
+    }
+    stack.pop_back();
+    color[module] = 2;
+  };
+  for (const auto& [module, deps] : graph.deps) {
+    (void)deps;
+    if (color[module] == 0) dfs(module);
+  }
+  graph.configured = errors.size() == errors_before;
+  return graph;
+}
+
+std::set<std::string> collect_exports(const FileScan& header) {
+  std::set<std::string> exports;
+  // Macros come from the raw text (the stripped view keeps them too, but
+  // the raw scan is line-anchored and cheap).
+  static const std::regex kDefine(R"(^[ \t]*#[ \t]*define[ \t]+([A-Za-z_][A-Za-z0-9_]*))");
+  {
+    std::istringstream lines(header.file->content);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::smatch m;
+      if (std::regex_search(line, m, kDefine)) exports.insert(m[1].str());
+    }
+  }
+
+  // Preprocessor lines (already harvested above) are blanked so a directive
+  // never leaks into the namespace-scope statement buffer below.
+  std::string s = header.stripped;
+  {
+    bool continued = false;
+    std::size_t line_start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+      if (i != s.size() && s[i] != '\n') continue;
+      std::size_t first = line_start;
+      while (first < i && (s[first] == ' ' || s[first] == '\t')) ++first;
+      const bool directive = continued || (first < i && s[first] == '#');
+      if (directive) {
+        continued = i > line_start && s[i - 1] == '\\';
+        for (std::size_t k = line_start; k < i; ++k) s[k] = ' ';
+      } else {
+        continued = false;
+      }
+      line_start = i + 1;
+    }
+  }
+  std::string buffer;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == ';') {
+      collect_statement(buffer, ';', exports);
+      buffer.clear();
+      continue;
+    }
+    if (c == '}') {  // end of a namespace block entered below
+      buffer.clear();
+      continue;
+    }
+    if (c == '{') {
+      const std::vector<std::string> tokens = word_tokens(buffer);
+      const bool is_namespace =
+          !tokens.empty() && (tokens.front() == "namespace" ||
+                              (tokens.size() >= 2 && tokens[0] == "inline" &&
+                               tokens[1] == "namespace"));
+      if (is_namespace) {  // descend: namespace members are exports too
+        buffer.clear();
+        continue;
+      }
+      const bool is_enum =
+          std::find(tokens.begin(), tokens.end(), "enum") != tokens.end();
+      collect_statement(buffer, '{', exports);
+      const std::size_t close =
+          i < header.bracket_match.size() ? header.bracket_match[i] : std::string::npos;
+      if (is_enum && close != std::string::npos) {
+        // Enumerators are namespace-visible for unscoped enums; collecting
+        // them for scoped enums too only makes A4 more conservative.
+        for (const std::string& chunk :
+             [&] {
+               std::vector<std::string> parts;
+               std::string current;
+               for (std::size_t k = i + 1; k < close; ++k) {
+                 if (s[k] == ',') {
+                   parts.push_back(current);
+                   current.clear();
+                 } else {
+                   current.push_back(s[k]);
+                 }
+               }
+               parts.push_back(current);
+               return parts;
+             }()) {
+          const std::vector<std::string> names = word_tokens(chunk);
+          if (!names.empty()) exports.insert(names.front());
+        }
+      }
+      if (close == std::string::npos) break;  // unbalanced: stop collecting
+      i = close;  // skip the body (members are reached through the type name)
+      buffer.clear();
+      continue;
+    }
+    buffer.push_back(c);
+  }
+  return exports;
+}
+
+ArchOutput run_architecture(const std::vector<FileScan>& scans, const LayerGraph& layers) {
+  ArchOutput out;
+  std::map<std::string, const FileScan*> by_path;
+  for (const FileScan& fs : scans) by_path[fs.file->path] = &fs;
+
+  const auto resolve = [&](const FileScan& fs, const std::string& target) -> std::string {
+    const std::string dir = dirname_of(fs.file->path);
+    for (const std::string& candidate :
+         {dir.empty() ? target : dir + "/" + target, "src/" + target, target}) {
+      if (by_path.count(candidate) != 0) return candidate;
+    }
+    return "";
+  };
+
+  // Resolved include graph (adjacency keyed by path; values sorted by the
+  // include's position so every walk below is deterministic).
+  std::map<std::string, std::vector<std::pair<std::string, std::size_t>>> adj;
+  for (const FileScan& fs : scans) {
+    const std::string module = module_of(fs.file->path);
+    const bool src_module = fs.file->path.rfind("src/", 0) == 0;
+    for (const IncludeDirective& inc : fs.includes) {
+      if (!inc.quoted) continue;
+      const std::string resolved = resolve(fs, inc.target);
+      const std::string& shape = resolved.empty() ? inc.target : resolved;
+      if (src_module) {
+        for (const char* banned : {"bench/", "tests/", "examples/"}) {
+          if (shape.rfind(banned, 0) == 0) {
+            out.findings.push_back(
+                {fs.file->path, inc.line, "A3",
+                 "src/ may not include from " + std::string(banned) +
+                     " (`" + inc.target + "`): the library must stand without its "
+                     "harnesses"});
+          }
+        }
+      }
+      if (resolved.empty() || resolved == fs.file->path) continue;
+      adj[fs.file->path].emplace_back(resolved, inc.line);
+    }
+  }
+
+  // A1 + the observed module graph.
+  std::set<std::pair<std::string, std::string>> module_edges;
+  std::set<std::string> undeclared_reported;
+  for (const FileScan& fs : scans) {
+    const std::string from_module = module_of(fs.file->path);
+    if (layers.configured && !from_module.empty() &&
+        layers.deps.count(from_module) == 0 &&
+        undeclared_reported.insert(from_module).second) {
+      out.findings.push_back({fs.file->path, 1, "LINT",
+                              "module `" + from_module +
+                                  "` is not declared in layers.txt — add it with its "
+                                  "allowed dependencies"});
+    }
+    for (const auto& [to_path, line] : adj[fs.file->path]) {
+      const std::string to_module = module_of(to_path);
+      if (from_module.empty() || to_module.empty() || from_module == to_module) continue;
+      module_edges.insert({from_module, to_module});
+      if (!layers.configured) continue;
+      const auto allowed = layers.closure.find(from_module);
+      if (layers.deps.count(from_module) == 0 || layers.deps.count(to_module) == 0) {
+        continue;  // undeclared module already reported above
+      }
+      if (allowed != layers.closure.end() && allowed->second.count(to_module) != 0) {
+        continue;
+      }
+      std::string allowed_list;
+      if (allowed != layers.closure.end()) {
+        for (const std::string& dep : allowed->second) {
+          allowed_list += (allowed_list.empty() ? "" : ", ") + dep;
+        }
+      }
+      out.findings.push_back(
+          {fs.file->path, line, "A1",
+           "layer violation: module `" + from_module + "` may not depend on `" +
+               to_module + "` (" + fs.file->path + " -> " + to_path +
+               "); layers.txt allows " + from_module + " -> {" + allowed_list + "}"});
+    }
+  }
+
+  std::ostringstream dot;
+  dot << "digraph carbonedge_modules {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const auto& [from, to] : module_edges) {
+    dot << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  dot << "}\n";
+  out.graph_dot = dot.str();
+
+  // A2: include cycles, each reported once on its canonical path.
+  {
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::set<std::string> seen_cycles;
+    const std::function<void(const std::string&)> dfs = [&](const std::string& path) {
+      color[path] = 1;
+      stack.push_back(path);
+      for (const auto& [next, line] : adj[path]) {
+        (void)line;
+        if (color[next] == 0) {
+          dfs(next);
+        } else if (color[next] == 1) {
+          std::vector<std::string> cycle(std::find(stack.begin(), stack.end(), next),
+                                         stack.end());
+          const auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          std::string chain;
+          for (const std::string& node : cycle) chain += node + " -> ";
+          chain += cycle.front();
+          if (!seen_cycles.insert(chain).second) continue;
+          std::size_t at_line = 1;
+          for (const auto& [to, l] : adj[cycle.front()]) {
+            if (to == cycle[1 % cycle.size()]) at_line = l;
+          }
+          out.findings.push_back(
+              {cycle.front(), at_line, "A2", "include cycle: " + chain});
+        }
+      }
+      stack.pop_back();
+      color[path] = 2;
+    };
+    for (const auto& [path, edges] : adj) {
+      (void)edges;
+      if (color[path] == 0) dfs(path);
+    }
+  }
+
+  // Header export sets and per-file identifier sets for the IWYU passes.
+  std::map<std::string, std::set<std::string>> exports;
+  for (const FileScan& fs : scans) {
+    if (is_header(fs.file->path)) exports[fs.file->path] = collect_exports(fs);
+  }
+  std::map<std::string, std::set<std::string>> tokens;
+  for (const FileScan& fs : scans) tokens[fs.file->path] = ident_set(fs.stripped);
+
+  // A4: direct include whose header contributes no referenced name.
+  for (const FileScan& fs : scans) {
+    const std::set<std::string>& used = tokens[fs.file->path];
+    for (const auto& [to_path, line] : adj[fs.file->path]) {
+      const auto exported = exports.find(to_path);
+      if (exported == exports.end() || exported->second.empty()) continue;
+      if (stem_of(to_path) == stem_of(fs.file->path)) continue;  // companion header
+      bool referenced = false;
+      for (const std::string& name : exported->second) {
+        if (used.count(name) != 0) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) continue;
+      out.findings.push_back(
+          {fs.file->path, line, "A4",
+           "unused include: nothing exported by " + to_path +
+               " is referenced here — drop it (or annotate unused-include-ok if it "
+               "is a deliberate re-export)"});
+      out.edits.push_back({fs.file->path, line, true, "A4", ""});
+    }
+  }
+
+  // A5: symbol used directly, header reachable only transitively.
+  std::map<std::string, std::string> unique_exporter;
+  {
+    std::map<std::string, int> counts;
+    for (const auto& [path, names] : exports) {
+      for (const std::string& name : names) {
+        if (name.size() < 4) continue;  // too short to be meaningful evidence
+        ++counts[name];
+        unique_exporter[name] = path;
+      }
+    }
+    for (const auto& [name, count] : counts) {
+      if (count != 1) unique_exporter.erase(name);
+    }
+  }
+  for (const FileScan& fs : scans) {
+    const std::string& from = fs.file->path;
+    std::set<std::string> direct;
+    for (const auto& [to_path, line] : adj[from]) {
+      (void)line;
+      direct.insert(to_path);
+    }
+    if (direct.empty()) continue;
+    // BFS for the transitive set, remembering each file's first hop so the
+    // offending chain can be printed.
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue(direct.begin(), direct.end());
+    std::set<std::string> visited(direct.begin(), direct.end());
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::string current = queue[head];
+      for (const auto& [next, line] : adj[current]) {
+        (void)line;
+        if (next == from || !visited.insert(next).second) continue;
+        parent[next] = current;
+        queue.push_back(next);
+      }
+    }
+    const std::set<std::string>& used = tokens[from];
+    for (const std::string& header : queue) {
+      if (direct.count(header) != 0) continue;
+      const auto exported = exports.find(header);
+      if (exported == exports.end()) continue;
+      // Companion-header exemption: what x.cpp reaches through x.hpp is part
+      // of its own declared interface, not a hidden transitive dependency.
+      std::string entry = header;
+      for (auto hop = parent.find(entry); hop != parent.end();
+           hop = parent.find(entry)) {
+        entry = hop->second;
+      }
+      if (stem_of(entry) == stem_of(from)) continue;
+      std::vector<std::string> evidence;
+      for (const std::string& name : exported->second) {
+        const auto owner = unique_exporter.find(name);
+        if (owner == unique_exporter.end() || owner->second != header) continue;
+        if (used.count(name) == 0) continue;
+        evidence.push_back(name);
+        if (evidence.size() == 3) break;
+      }
+      if (evidence.empty()) continue;
+      std::string chain = header;
+      for (auto hop = parent.find(header); hop != parent.end();
+           hop = parent.find(hop->second)) {
+        chain = hop->second + " -> " + chain;
+      }
+      chain = from + " -> " + chain;
+      std::string names;
+      for (const std::string& name : evidence) {
+        names += (names.empty() ? "`" : ", `") + name + "`";
+      }
+      // The fix: insert the include in sorted position among the existing
+      // quoted includes.
+      std::string spelling = header;
+      if (spelling.rfind("src/", 0) == 0) {
+        spelling = spelling.substr(4);
+      } else if (dirname_of(header) == dirname_of(from)) {
+        spelling = basename_of(header);
+      }
+      std::size_t insert_line = 0;
+      std::size_t finding_line = 1;
+      for (const IncludeDirective& inc : fs.includes) {
+        if (!inc.quoted) continue;
+        if (finding_line == 1) finding_line = inc.line;
+        if (inc.target < spelling) insert_line = inc.line + 1;
+      }
+      if (insert_line == 0) insert_line = finding_line;
+      out.findings.push_back(
+          {from, finding_line, "A5",
+           "uses " + names + " from " + header + " which is only included "
+               "transitively (" + chain + "); include \"" + spelling +
+               "\" directly so the dependency survives refactors"});
+      out.edits.push_back(
+          {from, insert_line, false, "A5", "#include \"" + spelling + "\""});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace carbonedge::lint

@@ -1,0 +1,66 @@
+// Cross-TU architecture pass: the module graph over
+// src/{util,geo,carbon,sim,core,solver,store,runner,serve,analysis} +
+// tools + bench + examples + tests, checked against the layer DAG declared
+// in tools/lint/layers.txt.
+//
+//   A1  upward/undeclared cross-module dependency (module(includer) must be
+//       allowed to reach module(header) in the closure of layers.txt)
+//   A2  include cycle among the tree's own files (DFS, each cycle reported
+//       once with its canonical deterministic path)
+//   A3  src/* including from bench/, tests/, or examples/
+//   A4  IWYU-lite: a quoted include of one of our headers none of whose
+//       exported names the includer references
+//   A5  IWYU-lite: direct use of a symbol whose unique exporting header is
+//       reachable only transitively (the chain is reported and an insertion
+//       edit emitted)
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace carbonedge::lint {
+
+/// The declared layer DAG. `deps` holds the direct declarations from
+/// layers.txt; `closure` the transitive reachability the A1 check admits.
+struct LayerGraph {
+  std::map<std::string, std::vector<std::string>> deps;
+  std::map<std::string, std::set<std::string>> closure;
+  bool configured = false;
+};
+
+/// Parses layers.txt (`module: dep dep ...` per line, `#` comments).
+/// Unknown dep names and cycles in the declared graph are LINT errors
+/// against `label`; a graph with errors comes back unconfigured so A1 does
+/// not run on a broken declaration.
+[[nodiscard]] LayerGraph parse_layers(std::string_view text, std::string_view label,
+                                      std::vector<Finding>& errors);
+
+/// The module a repo-relative path belongs to: the subdirectory name under
+/// src/ ("util", "carbon", ...), or the top-level directory ("tools",
+/// "bench", "examples", "tests"). Empty for paths outside the known roots.
+[[nodiscard]] std::string module_of(std::string_view path);
+
+/// Names a header exports at namespace scope: type definitions (not forward
+/// declarations), enumerators, functions, variables, aliases, and macros.
+/// Class/function bodies are skipped — a member is referenced through its
+/// type's name. Heuristic by design: used only to make A4/A5 conservative.
+[[nodiscard]] std::set<std::string> collect_exports(const FileScan& header);
+
+struct ArchOutput {
+  std::vector<Finding> findings;
+  std::vector<IncludeEdit> edits;
+  std::string graph_dot;  // the observed module graph, Graphviz syntax
+};
+
+/// Runs A1–A5 over the whole scan set. `layers` may be unconfigured, which
+/// disables A1 and the undeclared-module check but not A2–A5.
+[[nodiscard]] ArchOutput run_architecture(const std::vector<FileScan>& scans,
+                                          const LayerGraph& layers);
+
+}  // namespace carbonedge::lint

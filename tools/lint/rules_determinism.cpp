@@ -1,0 +1,143 @@
+#include "rules_determinism.hpp"
+
+#include <array>
+#include <regex>
+#include <utility>
+
+namespace carbonedge::lint {
+
+void collect_unordered_names(const FileScan& fs, std::set<std::string>& names) {
+  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  const std::string& s = fs.stripped;
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) + it->length() - 1;
+    std::size_t i = skip_angles(s, open);
+    if (i == std::string::npos) continue;
+    i = skip_ws(s, i);
+    while (i < s.size() && (s[i] == '&' || s[i] == '*')) i = skip_ws(s, i + 1);
+    std::string name;
+    while (i < s.size() && ident_char(s[i])) name.push_back(s[i++]);
+    if (name.empty()) continue;
+    i = skip_ws(s, i);
+    if (i < s.size() && s[i] == '(') continue;  // a function returning the container
+    names.insert(std::move(name));
+  }
+}
+
+void rule_d1(const FileScan& fs, std::vector<Finding>& findings) {
+  static const std::array<std::pair<std::regex, const char*>, 5> kBanned = {{
+      {std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"),
+       "std::rand/srand: implementation-defined global RNG; use a config-seeded "
+       "util::Rng"},
+      {std::regex(R"(\brandom_device\b)"),
+       "std::random_device draws host entropy; every seed must come from the "
+       "config so runs replay"},
+      {std::regex(R"(\b(?:[A-Za-z_][A-Za-z0-9_]*_clock|clock)\s*::\s*now\s*\()"),
+       "clock read: wall/steady time must never influence simulation output"},
+      {std::regex(R"(\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"),
+       "time(): wall time must never influence simulation output"},
+      {std::regex(R"(\bthis_thread\s*::\s*get_id\b)"),
+       "thread identity: behavior must not depend on which lane runs an item"},
+  }};
+  const std::string& s = fs.stripped;
+  for (const auto& [re, message] : kBanned) {
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      findings.push_back({fs.file->path,
+                          line_of(fs, static_cast<std::size_t>(it->position())), "D1",
+                          message});
+    }
+  }
+  // Pointer-keyed ordered containers: iteration order is allocation order.
+  static const std::regex kOrdered(R"(\bstd\s*::\s*(?:multi)?(?:map|set)\s*<)");
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), kOrdered);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + static_cast<std::size_t>(it->length()) - 1;
+    std::size_t depth = 0;
+    bool pointer_key = false;
+    for (std::size_t i = open; i < s.size(); ++i) {
+      if (s[i] == '<') ++depth;
+      if (s[i] == '>' && --depth == 0) break;
+      if (s[i] == ';') break;
+      if (s[i] == ',' && depth == 1) break;  // end of the key argument
+      if (s[i] == '*') pointer_key = true;
+    }
+    if (pointer_key) {
+      findings.push_back(
+          {fs.file->path, line_of(fs, static_cast<std::size_t>(it->position())), "D1",
+           "ordered container keyed on a pointer: iteration order is allocation "
+           "order — key on a stable id instead"});
+    }
+  }
+}
+
+void rule_d2(const FileScan& fs, const std::set<std::string>& unordered_names,
+             std::vector<Finding>& findings) {
+  // The range expression may qualify the container (`cache.entries_`,
+  // `self->hosted_`): the trailing identifier is the name that matters.
+  static const std::regex kRangeFor(
+      R"(\bfor\s*\([^();]*[^();:]:\s*(?:[A-Za-z_][A-Za-z0-9_]*\s*(?:\.|->)\s*)*([A-Za-z_][A-Za-z0-9_]*)\s*\))");
+  static const std::regex kBegin(R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?begin\s*\()");
+  const std::string& s = fs.stripped;
+  for (const std::regex* re : {&kRangeFor, &kBegin}) {
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), *re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (unordered_names.find(name) == unordered_names.end()) continue;
+      findings.push_back(
+          {fs.file->path, line_of(fs, static_cast<std::size_t>(it->position(1))), "D2",
+           "iteration over unordered container `" + name +
+               "`: accumulate/emit via a serial snapshot, or annotate why bucket "
+               "order cannot leak into output"});
+    }
+  }
+}
+
+void rule_d4(const FileScan& fs, std::vector<Finding>& findings) {
+  const std::string& path = fs.file->path;
+  const bool accounting_path =
+      path.rfind("src/sim/", 0) == 0 || path.rfind("src/core/", 0) == 0;
+  if (!accounting_path) return;
+  static const std::regex kFloat(R"(\bfloat\b)");
+  const std::string& s = fs.stripped;
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), kFloat);
+       it != std::sregex_iterator(); ++it) {
+    findings.push_back({path, line_of(fs, static_cast<std::size_t>(it->position())), "D4",
+                        "`float` in an accounting/telemetry path: the store codecs "
+                        "and the replay oracle are a bit-exact double contract"});
+  }
+}
+
+void rule_d5(const FileScan& fs, std::vector<Finding>& findings) {
+  static const std::regex kGetenv(R"(\bgetenv\b)");
+  const std::string& s = fs.stripped;
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), kGetenv);
+       it != std::sregex_iterator(); ++it) {
+    findings.push_back({fs.file->path,
+                        line_of(fs, static_cast<std::size_t>(it->position())), "D5",
+                        "raw getenv: environment reads go through util::env so every "
+                        "input the process consumes is auditable in one place"});
+  }
+}
+
+void rule_h1(const FileScan& fs, std::vector<Finding>& findings) {
+  const std::string& path = fs.file->path;
+  const bool header = path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                                           path.rfind(".h") == path.size() - 2);
+  if (!header) return;
+  static const std::regex kPragmaOnce(R"(#\s*pragma\s+once\b)");
+  if (!std::regex_search(fs.stripped, kPragmaOnce)) {
+    findings.push_back({path, 1, "H1", "header is missing `#pragma once`"});
+  }
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  const std::string& s = fs.stripped;
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), kUsingNamespace);
+       it != std::sregex_iterator(); ++it) {
+    findings.push_back({path, line_of(fs, static_cast<std::size_t>(it->position())), "H1",
+                        "`using namespace` in a header leaks into every includer"});
+  }
+}
+
+}  // namespace carbonedge::lint

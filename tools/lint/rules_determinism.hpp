@@ -1,0 +1,28 @@
+// Token-level determinism rules (D1, D2, D4, D5) and header hygiene (H1).
+// See lint.hpp for the rule catalog; the parallel-region rules (D3, D6–D8)
+// live in rules_dataflow.hpp.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace carbonedge::lint {
+
+/// Records every variable declared as an unordered associative container.
+/// Members declared in one file (a header) are iterated in another (the
+/// matching .cpp), so the name set is collected tree-wide before any rule
+/// runs. Shared by D2 and D7.
+void collect_unordered_names(const FileScan& fs, std::set<std::string>& names);
+
+void rule_d1(const FileScan& fs, std::vector<Finding>& findings);
+void rule_d2(const FileScan& fs, const std::set<std::string>& unordered_names,
+             std::vector<Finding>& findings);
+void rule_d4(const FileScan& fs, std::vector<Finding>& findings);
+void rule_d5(const FileScan& fs, std::vector<Finding>& findings);
+void rule_h1(const FileScan& fs, std::vector<Finding>& findings);
+
+}  // namespace carbonedge::lint
