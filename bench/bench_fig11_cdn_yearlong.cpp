@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   // --store: resume the four year-long cells from the persistent artifact
   // store (and publish fresh ones into it); traces load from its L2 tier.
   const auto sweep_store = bench::init_store(argc, argv);
+  const std::string metrics_path = bench::init_metrics(argc, argv);
 
   const std::vector<geo::Continent> continents = {geo::Continent::kNorthAmerica,
                                                   geo::Continent::kEurope};
@@ -103,5 +104,6 @@ int main(int argc, char** argv) {
       "CarbonEdge shifts the load distribution toward low-carbon zones; Europe saves more "
       "than the US (paper: 67.8% vs 49.5%).");
   bench::print_store_stats(sweep_store);
+  bench::write_metrics_json(metrics_path);
   return 0;
 }

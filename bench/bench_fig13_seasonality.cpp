@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 13", "Effect of seasonality");
   // --store: the five year-long cells resume from the persistent store.
   const auto sweep_store = bench::init_store(argc, argv);
+  const std::string metrics_path = bench::init_metrics(argc, argv);
 
   const std::vector<core::PolicyConfig> policies = {core::PolicyConfig::latency_aware(),
                                                     core::PolicyConfig::carbon_edge()};
@@ -144,5 +145,6 @@ int main(int argc, char** argv) {
       "Monthly intensity shifts re-rank zones and re-route applications across seasons "
       "(paper: up to 3x swings in per-site assignments; ~10% savings variation in Europe).");
   bench::print_store_stats(sweep_store);
+  bench::write_metrics_json(metrics_path);
   return 0;
 }

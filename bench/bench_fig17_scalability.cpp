@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
   // L2 tier instead of re-synthesizing them — a warmed run of this bench
   // performs zero syntheses.
   const auto sweep_store = bench::init_store(argc, argv);
+  const std::string metrics_path = bench::init_metrics(argc, argv);
   bench::BenchJsonWriter json = bench::init_bench_json(argc, argv);
   benchmark::Initialize(&argc, argv);
   JsonTeeReporter reporter(&json);
@@ -185,5 +186,6 @@ int main(int argc, char** argv) {
       "Incremental placement completes well within the paper's 3 s / 200 MB envelope at "
       "400 servers x 140 applications.");
   bench::print_store_stats(sweep_store);
+  bench::write_metrics_json(metrics_path);
   return 0;
 }

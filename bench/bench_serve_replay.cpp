@@ -27,6 +27,7 @@ using namespace carbonedge;
 int main(int argc, char** argv) {
   bench::print_header("Serve replay", "Year-long streaming replay throughput");
   bench::init_store(argc, argv);
+  const std::string metrics_path = bench::init_metrics(argc, argv);
   bench::BenchJsonWriter json = bench::init_bench_json(argc, argv);
 
   core::SimulationConfig config = bench::apply_smoke_epochs(bench::cdn_config());
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
                 {"carbon_g", result.sim.telemetry.total_carbon_g()},
                 {"migrations", static_cast<double>(result.sim.migrations)}});
   json.write();
+  bench::write_metrics_json(metrics_path);
   bench::print_takeaway("the streaming path replays a year of arrivals at full engine speed");
   return 0;
 }

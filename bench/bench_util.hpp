@@ -19,6 +19,7 @@
 #include "carbon/trace_cache.hpp"
 #include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "obs/export.hpp"
 #include "sim/app_model.hpp"
 #include "store/artifact_store.hpp"
 #include "store/sweep_store.hpp"
@@ -88,7 +89,9 @@ inline std::shared_ptr<store::SweepStore> init_store(int& argc, char** argv) {
 }
 
 /// Store hit counters (printed at the end of a --store run): a warmed
-/// second run reports zero syntheses — everything came from disk.
+/// second run reports zero syntheses — everything came from disk. A
+/// degraded store (failed cell writes) is called out explicitly rather
+/// than silently producing a cold next run.
 inline void print_store_stats(const std::shared_ptr<store::SweepStore>& sweeps) {
   if (sweeps == nullptr) return;
   const carbon::TraceCache& cache = carbon::TraceCache::global();
@@ -97,6 +100,45 @@ inline void print_store_stats(const std::shared_ptr<store::SweepStore>& sweeps) 
             << " loaded from disk, " << cache.hits() << " memory hits; sweep cells: "
             << sweeps->stores() << " computed+saved, " << sweeps->hits()
             << " resumed from disk\n";
+  if (sweeps->write_failures() > 0) {
+    std::cout << "[store] WARNING: " << sweeps->write_failures()
+              << " cell writes failed — results were computed but not persisted\n";
+  }
+}
+
+/// Parses and removes `--metrics=PATH` from argv (same contract as
+/// init_store). Call write_metrics_json() with the returned path after the
+/// bench has run; '-' writes the snapshot to stdout.
+inline std::string init_metrics(int& argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      path = argv[i] + 10;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  return path;
+}
+
+/// Writes the process metrics registry (both views) as one JSON document.
+/// No-op when `path` is empty.
+inline void write_metrics_json(const std::string& path) {
+  if (path.empty()) return;
+  const std::string snapshot = obs::snapshot_json();
+  if (path == "-") {
+    std::cout << snapshot << "\n";
+    return;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::cerr << "metrics: cannot open " << path << "\n";
+    return;
+  }
+  std::fputs(snapshot.c_str(), out);
+  std::fclose(out);
+  std::cout << "[metrics] wrote snapshot to " << path << "\n";
 }
 
 /// Machine-readable bench results: `--bench-json=PATH` (stripped from argv

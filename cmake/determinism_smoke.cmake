@@ -17,17 +17,23 @@ file(MAKE_DIRECTORY ${OUT_DIR})
 set(PROBE_sweep "sweep;florida;128")
 # 40-site CDN region: big enough that the single cell passes the engine's
 # scale gate and really dispatches its epoch sections onto the shard pool.
-set(PROBE_single "sweep;cdn_us;96;--single")
+# --metrics= puts the obs registry under the gate too: the snapshot's
+# deterministic view is compared separately below (the timing view is
+# allowed — required, even — to differ).
+set(PROBE_single "sweep;cdn_us;96;--single;--metrics=${OUT_DIR}/metrics-single-t@THREADS@.json")
 # Streaming serving mode: event-driven replay with windowed telemetry and an
 # EMA re-optimization trigger; --export=- puts the per-window CSV rows into
-# the diffed output, so window aggregation is under the gate too.
-set(PROBE_serve "serve;cdn_us;--replay;--epochs=96;--window-epochs=8;--ema-reopt=load:2500:2000;--export=-")
+# the diffed output, so window aggregation is under the gate too, and
+# --metrics-rows interleaves per-window deterministic-view snapshots into
+# those diffed bytes.
+set(PROBE_serve "serve;cdn_us;--replay;--epochs=96;--window-epochs=8;--ema-reopt=load:2500:2000;--export=-;--metrics-rows")
 
 foreach(probe sweep single serve)
   foreach(threads 1 4)
+    string(REPLACE "@THREADS@" "${threads}" args "${PROBE_${probe}}")
     execute_process(
       # -E env: the worker budget under test reaches the probe process only.
-      COMMAND ${CMAKE_COMMAND} -E env CARBONEDGE_THREADS=${threads} ${CLI} ${PROBE_${probe}}
+      COMMAND ${CMAKE_COMMAND} -E env CARBONEDGE_THREADS=${threads} ${CLI} ${args}
       OUTPUT_FILE ${OUT_DIR}/${probe}-t${threads}.txt
       RESULT_VARIABLE status)
     if(NOT status EQUAL 0)
@@ -45,3 +51,20 @@ foreach(probe sweep single serve)
   endif()
   message(STATUS "determinism gate: probe '${probe}' byte-identical across thread counts")
 endforeach()
+
+# The metrics snapshot's deterministic view is under the same contract: the
+# counts/bytes/invocations it reports must not depend on the worker budget.
+# Extract the "deterministic" object from each JSON snapshot (the exporter
+# emits name-ordered keys, so equal objects have equal text) and compare.
+foreach(threads 1 4)
+  file(READ ${OUT_DIR}/metrics-single-t${threads}.json snapshot)
+  string(JSON det_${threads} GET "${snapshot}" deterministic)
+endforeach()
+if(NOT det_1 STREQUAL det_4)
+  file(WRITE ${OUT_DIR}/metrics-det-t1.json "${det_1}")
+  file(WRITE ${OUT_DIR}/metrics-det-t4.json "${det_4}")
+  message(FATAL_ERROR "determinism gate: deterministic metrics view differs between "
+                      "CARBONEDGE_THREADS=1 and =4 — compare ${OUT_DIR}/metrics-det-t1.json "
+                      "against ${OUT_DIR}/metrics-det-t4.json")
+endif()
+message(STATUS "determinism gate: deterministic metrics view byte-identical across thread counts")

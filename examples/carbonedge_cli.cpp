@@ -30,6 +30,15 @@
 //   carbonedge_cli store warm [region...]       pre-synthesize traces into the
 //                                               persistent artifact store
 //   carbonedge_cli store ls | verify | gc       inspect / checksum / clean it
+//   carbonedge_cli metrics                      enumerate the obs registry
+//                                               (name, kind, view, value)
+//
+// Any command also accepts `--metrics=FILE` / `--metrics-prom=FILE`
+// (stripped before dispatch): after a successful run, the obs registry is
+// written as a JSON snapshot ({"deterministic":{...},"timing":{...}}) or
+// Prometheus text to FILE ('-' = stdout). serve additionally accepts
+// `--metrics-rows` to interleave per-window `#metrics` snapshot rows into
+// the --export stream.
 //
 // The store subcommands operate on CARBONEDGE_STORE_DIR (or the directory
 // given as `store --dir <path> <subcommand>`).
@@ -56,6 +65,8 @@
 #include "geo/coord.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "runner/scenario_grid.hpp"
 #include "runner/scenario_runner.hpp"
 #include "serve/event_loop.hpp"
@@ -65,6 +76,7 @@
 #include "sim/datacenter.hpp"
 #include "sim/device.hpp"
 #include "store/artifact_store.hpp"
+#include "store/sweep_store.hpp"
 #include "store/trace_tier.hpp"
 #include "util/env.hpp"
 #include "util/stats.hpp"
@@ -83,14 +95,16 @@ int usage() {
                "           [--policy=<p>] [--queue-capacity=<n>] [--ooo=drop|clamp]\n"
                "           [--ema-alpha=<a>] [--ema-reopt=<intensity|response|load>:"
                "<fire>:<rearm>]\n"
-               "           [--export=<file|->] |\n"
+               "           [--export=<file|->] [--metrics-rows] |\n"
                "       export-traces <region> <file> |\n"
                "       store [--dir <path>] warm [region...] | ls | verify | gc "
-               "[--max-bytes=<n>]\n"
+               "[--max-bytes=<n>] |\n"
+               "       metrics\n"
                "regions: florida west_us italy central_eu cdn_us cdn_eu\n"
                "policies: latency energy intensity carbonedge alpha=<0..1>\n"
                "store dir: CARBONEDGE_STORE_DIR or store --dir <path>\n"
-               "threads: CARBONEDGE_THREADS caps the process worker budget\n";
+               "threads: CARBONEDGE_THREADS caps the process worker budget\n"
+               "metrics: --metrics=<file|-> / --metrics-prom=<file|-> on any command\n";
   return 2;
 }
 
@@ -197,8 +211,20 @@ int cmd_sweep(const std::string& region_name, std::uint32_t epochs, bool single)
         .with_defer_epochs({0, 6})
         .with_workload_seeds({1, 2});
   }
-  const auto outcomes = runner::ScenarioRunner().run(grid);
-  runner::ScenarioRunner::summarize(outcomes).print(std::cout);
+  // CARBONEDGE_STORE_DIR attaches the persistent sweep store (same
+  // convention as the benches' --store): cells resume from disk, fresh
+  // ones persist back. The gate runs without the variable; either way the
+  // summary has a Store column ("-" storeless, "ok"/"FAIL:<n>w" with one),
+  // and its bytes stay thread-count-invariant.
+  runner::ScenarioRunnerOptions options;
+  const std::string store_dir = util::env::get_or("CARBONEDGE_STORE_DIR", "");
+  if (!store_dir.empty()) {
+    auto artifacts = std::make_shared<store::ArtifactStore>(store_dir);
+    carbon::TraceCache::global().set_store(store::make_trace_tier(artifacts));
+    options.sweep_store = std::make_shared<store::SweepStore>(std::move(artifacts));
+  }
+  const auto outcomes = runner::ScenarioRunner(options).run(grid);
+  runner::ScenarioRunner::summarize(outcomes, options.sweep_store.get()).print(std::cout);
   return 0;
 }
 
@@ -306,6 +332,8 @@ int cmd_serve(std::vector<std::string> args) {
       parse_ema_reopt(arg, serve_config.ema_reopt);
     } else if (arg.rfind("--export=", 0) == 0) {
       export_path = arg.substr(9);
+    } else if (arg == "--metrics-rows") {
+      serve_config.metrics_rows = true;
     } else {
       std::cerr << "error: unknown serve argument " << arg << "\n";
       return 2;
@@ -518,10 +546,55 @@ int cmd_store(int argc, char** argv) {
   return usage();
 }
 
-}  // namespace
+int cmd_metrics() {
+  // Enumerate the registry after collecting the sampled process gauges. A
+  // fresh process registers most metrics lazily at first use, so right
+  // after startup this lists only the process gauges — run it with
+  // --metrics=- on a real command to see the full catalog populated.
+  obs::collect_process_gauges();
+  util::Table table({"Metric", "Kind", "View", "Value", "Help"});
+  obs::Registry::global().visit([&](const obs::MetricRef& metric) {
+    std::string kind;
+    std::string value;
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+        kind = "counter";
+        value = std::to_string(metric.counter->value());
+        break;
+      case obs::MetricKind::kGauge:
+        kind = "gauge";
+        value = util::format_fixed(metric.gauge->value(), 0);
+        break;
+      case obs::MetricKind::kHistogram:
+        kind = "histogram";
+        value = "n=" + std::to_string(metric.histogram->count());
+        break;
+    }
+    table.add_row({std::string(metric.name), kind,
+                   metric.view == obs::View::kDeterministic ? "det" : "timing", value,
+                   std::string(metric.help)});
+  });
+  table.print(std::cout);
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+/// Write a metrics snapshot to `path` ('-' = stdout). Returns false (with
+/// a message) when the file cannot be opened.
+bool write_metrics_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content << "\n";
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::cerr << "error: cannot write metrics to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+int dispatch(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "zones") return cmd_zones();
@@ -545,9 +618,51 @@ int main(int argc, char** argv) {
     }
     if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (command == "store" && argc >= 3) return cmd_store(argc, argv);
+    if (command == "metrics") return cmd_metrics();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Observability flags work on every command. They are stripped from argv
+  // before dispatch (the per-command parsers stay strict — `sweep` still
+  // rejects unknown flags loudly) and written only after a successful run,
+  // so a usage error never emits a half-populated snapshot.
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool strip = true;
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_json_path = arg.substr(10);
+    } else if (arg.rfind("--metrics-prom=", 0) == 0) {
+      metrics_prom_path = arg.substr(15);
+    } else {
+      strip = false;
+    }
+    if (strip) {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  if (argc < 2) return usage();
+
+  const int rc = dispatch(argc, argv);
+  if (rc == 0) {
+    if (!metrics_json_path.empty() &&
+        !write_metrics_file(metrics_json_path, obs::snapshot_json())) {
+      return 1;
+    }
+    if (!metrics_prom_path.empty() &&
+        !write_metrics_file(metrics_prom_path, obs::snapshot_prometheus())) {
+      return 1;
+    }
+  }
+  return rc;
 }

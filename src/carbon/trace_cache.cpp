@@ -1,9 +1,48 @@
 #include "carbon/trace_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/fs.hpp"
 #include "util/hash.hpp"
 
 namespace carbonedge::carbon {
+
+namespace {
+
+// Process-wide mirrors of the per-instance counters (dual-write): the
+// instance accessors keep their exact semantics for tests and the --store
+// stats line, while `carbonedge_cli metrics` enumerates the same numbers
+// through the registry. All four are pure functions of the request stream,
+// hence deterministic view.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& disk_hits;
+  obs::Counter& syntheses;
+  obs::Counter& lock_failures;
+};
+
+CacheMetrics& cache_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static CacheMetrics metrics{
+      registry.counter("carbon.trace_cache.hits", "trace lookups answered from memory (L1)",
+                       obs::View::kDeterministic),
+      registry.counter("carbon.trace_cache.disk_hits",
+                       "trace lookups answered from the artifact store (L2)",
+                       obs::View::kDeterministic),
+      registry.counter("carbon.trace_cache.syntheses", "synthesizer runs (true misses)",
+                       obs::View::kDeterministic),
+      registry.counter("carbon.trace_cache.lock_failures",
+                       "cross-process entry locks that could not be acquired",
+                       obs::View::kDeterministic)};
+  return metrics;
+}
+
+obs::Phase& synthesize_phase() {
+  static obs::Phase phase("carbon.synthesize");
+  return phase;
+}
+
+}  // namespace
 
 std::string TraceCache::key_of(const ZoneSpec& zone, const SynthesizerParams& params) {
   util::Fingerprint fp;
@@ -52,6 +91,7 @@ std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
+    cache_metrics().hits.add();
     return it->second;
   }
 
@@ -62,19 +102,29 @@ std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
     trace = store_->load(key);
     if (trace != nullptr) {
       ++disk_hits_;
+      cache_metrics().disk_hits.add();
     } else {
       // Cross-process synthesize-once: take the entry lock, re-check (the
       // lock holder before us may have published), then compute + publish.
       // An unacquirable lock (unwritable locks/ dir) degrades to
       // at-least-once synthesis — counted, never fatal.
       const util::FileLock entry_lock = store_->lock_entry(key);
-      if (!entry_lock.held()) ++lock_failures_;
+      if (!entry_lock.held()) {
+        ++lock_failures_;
+        cache_metrics().lock_failures.add();
+      }
       trace = store_->load(key);
       if (trace != nullptr) {
         ++disk_hits_;
+        cache_metrics().disk_hits.add();
       } else {
-        trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+        {
+          const obs::Span span(synthesize_phase());
+          trace =
+              std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+        }
         ++syntheses_;
+        cache_metrics().syntheses.add();
         // The store is a cache tier: a publish failure (disk full, lost
         // permissions) degrades this key to memory-only — the adapter
         // swallows it, it must not abort the computation that succeeded.
@@ -82,8 +132,12 @@ std::shared_ptr<const CarbonTrace> TraceCache::get(const ZoneSpec& zone,
       }
     }
   } else {
-    trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+    {
+      const obs::Span span(synthesize_phase());
+      trace = std::make_shared<const CarbonTrace>(TraceSynthesizer(params).synthesize(zone));
+    }
     ++syntheses_;
+    cache_metrics().syntheses.add();
   }
   entries_.emplace(key, trace);
   return trace;

@@ -2,7 +2,19 @@
 
 #include <stdexcept>
 
+#include "obs/clock.hpp"
+#include "obs/span.hpp"
+
 namespace carbonedge::core {
+
+namespace {
+
+obs::Phase& place_phase() {
+  static obs::Phase phase("core.place");
+  return phase;
+}
+
+}  // namespace
 
 PlacementService::PlacementService(PolicyConfig policy, solver::AssignmentOptions options)
     : policy_(policy), options_(options) {}
@@ -12,13 +24,14 @@ PlacementResult PlacementService::place(const PlacementInput& input,
   PlacementResult result;
   if (apps.empty()) return result;
 
-  // lint: nondeterminism-ok(telemetry-only solve timing; feeds solve_time_ms, never a decision)
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Span span(place_phase());
+  // Solve timing through the sanctioned obs::Clock shim: telemetry only —
+  // it feeds solve_time_ms and the span counters, never a decision.
+  const std::uint64_t t0_ns = obs::now_ns();
   BuiltProblem built = build_problem(input, apps, policy_);
   const solver::AssignmentSolution solution = solver::solve_auto(built.problem, options_);
-  // lint: nondeterminism-ok(telemetry-only solve timing; feeds solve_time_ms, never a decision)
-  const auto t1 = std::chrono::steady_clock::now();
-  result.solve_time_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const std::uint64_t t1_ns = obs::now_ns();
+  result.solve_time_ms = static_cast<double>(t1_ns - t0_ns) / 1e6;
   result.objective = solution.total_cost;
   result.solver_stats = solution.stats;
   result.used_exact_solver = solution.stats.heuristic_shards == 0;

@@ -6,8 +6,6 @@
 // optimization, and commit placements + power-state transitions.
 #pragma once
 
-#include <chrono>
-
 #include "core/policy.hpp"
 #include "core/problem.hpp"
 #include "sim/server.hpp"

@@ -7,11 +7,65 @@
 #include <utility>
 
 #include "carbon/caltime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace carbonedge::core {
 
 namespace {
+
+obs::Phase& epoch_phase() {
+  static obs::Phase phase("core.epoch_step");
+  return phase;
+}
+
+// Run-level result counters mirrored into the registry once per finished
+// engine (batch cells and serve runs alike). Each is a sum of per-cell
+// integers, so the process totals are byte-identical across thread counts
+// — deterministic view.
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& epochs;
+  obs::Counter& apps_placed;
+  obs::Counter& apps_rejected;
+  obs::Counter& apps_deferred;
+  obs::Counter& apps_expired_deferred;
+  obs::Counter& apps_redeployed;
+  obs::Counter& migrations;
+  obs::Counter& migrations_skipped;
+  obs::Counter& server_failures;
+  obs::Counter& app_downtime_epochs;
+};
+
+SimMetrics& sim_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static SimMetrics metrics{
+      registry.counter("sim.runs", "simulation engines finished",
+                       obs::View::kDeterministic),
+      registry.counter("sim.epochs", "epochs stepped across all finished runs",
+                       obs::View::kDeterministic),
+      registry.counter("sim.apps_placed", "applications placed",
+                       obs::View::kDeterministic),
+      registry.counter("sim.apps_rejected", "applications rejected",
+                       obs::View::kDeterministic),
+      registry.counter("sim.apps_deferred", "arrivals temporally shifted",
+                       obs::View::kDeterministic),
+      registry.counter("sim.apps_expired_deferred",
+                       "deferred arrivals that expired before the horizon",
+                       obs::View::kDeterministic),
+      registry.counter("sim.apps_redeployed", "applications re-placed after a crash",
+                       obs::View::kDeterministic),
+      registry.counter("sim.migrations", "re-optimization moves applied",
+                       obs::View::kDeterministic),
+      registry.counter("sim.migrations_skipped", "moves vetoed by the cost-aware filter",
+                       obs::View::kDeterministic),
+      registry.counter("sim.server_failures", "server crashes (drawn + injected)",
+                       obs::View::kDeterministic),
+      registry.counter("sim.app_downtime_epochs", "epochs displaced apps spent parked",
+                       obs::View::kDeterministic)};
+  return metrics;
+}
 
 /// Below this many items a sharded epoch section runs inline: the per-item
 /// work (a forecast scan, a server lookup) is microseconds, so dispatching
@@ -149,6 +203,7 @@ void SimulationEngine::step(std::vector<sim::Application> arrivals,
   if (epoch_ >= config_.epochs) {
     throw std::logic_error("SimulationEngine::step beyond configured horizon");
   }
+  const obs::Span span(epoch_phase());
   const std::uint32_t epoch = epoch_;
   const carbon::HourIndex hour = hour_of(epoch);
 
@@ -548,6 +603,22 @@ SimulationResult SimulationEngine::finish() {
   result_.mean_solve_ms =
       config_.epochs > 0 ? result_.total_solve_ms / static_cast<double>(config_.epochs) : 0.0;
   result_.mean_deploy_ms = orchestrator_.mean_deploy_ms();
+
+  // Mirror the run's counters into the process registry (integer sums over
+  // cells commute, so the totals are thread-count independent even when
+  // engines finish on worker lanes in arbitrary order).
+  SimMetrics& metrics = sim_metrics();
+  metrics.runs.add();
+  metrics.epochs.add(epoch_);
+  metrics.apps_placed.add(result_.apps_placed);
+  metrics.apps_rejected.add(result_.apps_rejected);
+  metrics.apps_deferred.add(result_.apps_deferred);
+  metrics.apps_expired_deferred.add(result_.apps_expired_deferred);
+  metrics.apps_redeployed.add(result_.apps_redeployed);
+  metrics.migrations.add(result_.migrations);
+  metrics.migrations_skipped.add(result_.migrations_skipped);
+  metrics.server_failures.add(result_.server_failures);
+  metrics.app_downtime_epochs.add(result_.app_downtime_epochs);
   return std::move(result_);
 }
 

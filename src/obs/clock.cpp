@@ -1,0 +1,32 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace carbonedge::obs {
+
+namespace {
+
+std::atomic<ClockSource*>& source_slot() {
+  static std::atomic<ClockSource*> source{nullptr};
+  return source;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  ClockSource* source = source_slot().load(std::memory_order_acquire);
+  if (source != nullptr) return source->now_ns();
+  // The one sanctioned monotonic-clock read in src/ (allowlisted for lint
+  // rule D1): timing-view telemetry only, never an input to accounting.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ClockSource* exchange_clock_source(ClockSource* source) noexcept {
+  return source_slot().exchange(source, std::memory_order_acq_rel);
+}
+
+}  // namespace carbonedge::obs

@@ -1,0 +1,37 @@
+// Sanctioned monotonic-clock shim — the only place in src/ allowed to read
+// a real clock (lint rule D1).
+//
+// Wall/steady time must never influence simulation output, so D1 bans
+// `*_clock::now()` across the tree. Observability still needs durations:
+// phase spans (obs/span.hpp) and solve-latency telemetry are timing-view
+// data, explicitly excluded from the determinism contract. Those reads are
+// funneled through this shim — one audited call point with a single
+// allowlist entry (the util::env pattern) — and tests can swap in a fake
+// ClockSource to make span math exact and reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace carbonedge::obs {
+
+/// Injectable time source. now_ns() must be monotone non-decreasing per
+/// source; absolute origin is unspecified (durations only).
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+/// Nanoseconds on the current source: the injected ClockSource if one is
+/// set, otherwise the process steady clock (the one allowlisted D1 read).
+/// Results are timing-view only — they may never feed back into accounting
+/// or any simulation decision.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Install `source` as the process clock (nullptr restores the steady
+/// clock). Returns the previously installed source so tests can nest and
+/// restore. Not synchronized with concurrent now_ns() callers beyond the
+/// pointer swap itself — install fakes before spinning up timed work.
+ClockSource* exchange_clock_source(ClockSource* source) noexcept;
+
+}  // namespace carbonedge::obs

@@ -1,0 +1,50 @@
+#include "obs/span.hpp"
+
+#include <string>
+
+#include "obs/clock.hpp"
+
+namespace carbonedge::obs {
+
+namespace {
+
+// Innermost open span on this thread (nullptr at top level). Thread-local
+// by design: nesting and self-time attribution are per-thread notions, so
+// worker-lane spans are simply roots on their own lane.
+Span*& current_span() {
+  thread_local Span* current = nullptr;
+  return current;
+}
+
+}  // namespace
+
+Phase::Phase(std::string_view name, Registry& registry) {
+  const std::string base = "span." + std::string(name);
+  calls_ = &registry.counter(base + ".calls", "times the phase ran", View::kDeterministic);
+  total_ns_ = &registry.counter(base + ".total_ns",
+                                "wall nanoseconds inside the phase, children included",
+                                View::kTiming);
+  self_ns_ = &registry.counter(base + ".self_ns",
+                               "wall nanoseconds inside the phase, minus nested spans",
+                               View::kTiming);
+}
+
+Span::Span(const Phase& phase)
+    : phase_(&phase), parent_(current_span()), start_ns_(now_ns()) {
+  current_span() = this;
+}
+
+Span::~Span() {
+  const std::uint64_t end = now_ns();
+  // A fake clock may legally run backwards between injections; clamp so
+  // counters (monotone by contract) never wrap.
+  const std::uint64_t total = end >= start_ns_ ? end - start_ns_ : 0;
+  const std::uint64_t self = total >= child_ns_ ? total - child_ns_ : 0;
+  phase_->calls().add(1);
+  phase_->total_ns().add(total);
+  phase_->self_ns().add(self);
+  if (parent_ != nullptr) parent_->child_ns_ += total;
+  current_span() = parent_;
+}
+
+}  // namespace carbonedge::obs

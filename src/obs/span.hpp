@@ -1,0 +1,59 @@
+// RAII phase-span tracer over the metrics registry.
+//
+// A Phase names one recurring unit of work (epoch step, placement solve,
+// B&B, trace synthesis, store read/write/gc, window flush, ingest) and owns
+// three registry handles:
+//
+//   span.<name>.calls      counter, deterministic view — invocation counts
+//                          are pure functions of the workload
+//   span.<name>.total_ns   counter, timing view — wall time inside the
+//                          span, children included
+//   span.<name>.self_ns    counter, timing view — total minus time spent
+//                          in nested spans on the same thread
+//
+// Span is the RAII guard: construction reads obs::now_ns() and pushes onto
+// a thread-local stack; destruction records the duration, attributes it to
+// the parent's child time, and bumps the counters. Nesting is per thread —
+// a span opened on a worker lane is a root there, so self-time math never
+// crosses threads. Cost per span: two clock reads + three relaxed atomics.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace carbonedge::obs {
+
+/// One named phase; construct once (function-local static at the call
+/// site) and wrap each occurrence in a Span. Registers its metrics in
+/// `registry` (the process-wide registry by default).
+class Phase {
+ public:
+  explicit Phase(std::string_view name, Registry& registry = Registry::global());
+
+  [[nodiscard]] Counter& calls() const noexcept { return *calls_; }
+  [[nodiscard]] Counter& total_ns() const noexcept { return *total_ns_; }
+  [[nodiscard]] Counter& self_ns() const noexcept { return *self_ns_; }
+
+ private:
+  Counter* calls_;
+  Counter* total_ns_;
+  Counter* self_ns_;
+};
+
+class Span {
+ public:
+  explicit Span(const Phase& phase);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  const Phase* phase_;
+  Span* parent_;             // enclosing span on this thread, if any
+  std::uint64_t start_ns_;
+  std::uint64_t child_ns_ = 0;  // time spent in directly nested spans
+};
+
+}  // namespace carbonedge::obs

@@ -170,4 +170,21 @@ util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcom
   return table;
 }
 
+util::Table ScenarioRunner::summarize(const std::vector<ScenarioOutcome>& outcomes,
+                                      const CellCache* cache) {
+  util::Table table = summarize(outcomes);
+  // One health string for the whole sweep (the cache is shared by every
+  // cell): "ok" when all persists landed, a loud FAIL count when the store
+  // degraded to memory-only, "-" when the sweep ran without a store.
+  std::string status = "-";
+  if (cache != nullptr) {
+    const CellCacheHealth health = cache->health();
+    status = health.write_failures > 0
+                 ? "FAIL:" + std::to_string(health.write_failures) + "w"
+                 : "ok";
+  }
+  table.append_column("Store", status);
+  return table;
+}
+
 }  // namespace carbonedge::runner

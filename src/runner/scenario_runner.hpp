@@ -32,6 +32,15 @@ struct ScenarioOutcome {
   core::SimulationResult result;
 };
 
+/// Degradation counters of a CellCache. A best-effort cache never fails a
+/// sweep — a full disk just means cells silently stop persisting — so these
+/// are the only way a degraded-store run is distinguishable from a healthy
+/// one. summarize(outcomes, cache) renders them as a Store column.
+struct CellCacheHealth {
+  std::uint64_t stores = 0;          // fresh cells persisted
+  std::uint64_t write_failures = 0;  // persists that failed (store degraded)
+};
+
 /// Persistence seam for sweep-cell results. The runner layer sits below the
 /// store layer in the module DAG, so it cannot name store::SweepStore
 /// directly; the store layer implements this interface (store::SweepStore)
@@ -46,6 +55,9 @@ class CellCache {
       const Scenario& scenario) = 0;
   /// Best-effort persist of a computed cell; failures must not throw.
   virtual void save(const Scenario& scenario, const core::SimulationResult& result) = 0;
+  /// Current degradation counters; the default (a cache with no failure
+  /// modes) reports all-zero.
+  [[nodiscard]] virtual CellCacheHealth health() const { return {}; }
 };
 
 struct ScenarioRunnerOptions {
@@ -85,6 +97,13 @@ class ScenarioRunner {
   /// order. Purely a function of the outcomes, so equal outcome vectors
   /// render byte-identical tables.
   [[nodiscard]] static util::Table summarize(const std::vector<ScenarioOutcome>& outcomes);
+
+  /// summarize() plus a Store column surfacing the cell cache's health: a
+  /// sweep whose store degraded to memory-only (failed persists) must not
+  /// look identical to a healthy one. `cache == nullptr` renders "-"
+  /// (sweep ran without a store). Still a pure function of its arguments.
+  [[nodiscard]] static util::Table summarize(const std::vector<ScenarioOutcome>& outcomes,
+                                             const CellCache* cache);
 
   [[nodiscard]] const ScenarioRunnerOptions& options() const noexcept { return options_; }
 

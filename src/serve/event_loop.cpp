@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "util/histogram.hpp"
 
 namespace carbonedge::serve {
@@ -13,6 +15,16 @@ namespace {
 std::optional<ThresholdTrigger> make_trigger(const EmaTrigger& trigger) {
   if (!trigger.enabled) return std::nullopt;
   return ThresholdTrigger(trigger.fire, trigger.rearm);
+}
+
+obs::Phase& ingest_phase() {
+  static obs::Phase phase("serve.ingest");
+  return phase;
+}
+
+obs::Phase& window_flush_phase() {
+  static obs::Phase phase("serve.window_flush");
+  return phase;
 }
 
 }  // namespace
@@ -72,27 +84,30 @@ ServeResult EventLoop::run(EventSource& source, WindowCsvExporter* exporter) {
     // so the first event at or past the boundary ends the epoch's intake
     // and carries over. push() never blocks: overflow and stale drops are
     // counted in the queue's stats, the producer always makes progress.
-    while (!source_done) {
-      if (!carry) {
-        carry = source.next();
+    {
+      const obs::Span span(ingest_phase());
+      while (!source_done) {
         if (!carry) {
-          source_done = true;
-          break;
+          carry = source.next();
+          if (!carry) {
+            source_done = true;
+            break;
+          }
         }
+        if (carry->time_hours >= epoch_end) break;
+        queue.push(std::move(*carry));
+        carry.reset();
       }
-      if (carry->time_hours >= epoch_end) break;
-      queue.push(std::move(*carry));
-      carry.reset();
-    }
 
-    arrivals.clear();
-    failures.clear();
-    while (auto event = queue.pop()) {
-      if (event->type == EventType::kArrival) {
-        arrivals.push_back(std::move(event->app));
-        ++window_arrivals;
-      } else {
-        failures.push_back(event->failure);
+      arrivals.clear();
+      failures.clear();
+      while (auto event = queue.pop()) {
+        if (event->type == EventType::kArrival) {
+          arrivals.push_back(std::move(event->app));
+          ++window_arrivals;
+        } else {
+          failures.push_back(event->failure);
+        }
       }
     }
 
@@ -108,6 +123,9 @@ ServeResult EventLoop::run(EventSource& source, WindowCsvExporter* exporter) {
 
     const bool window_full = epoch + 1 - window_start_epoch >= config_.window_epochs;
     if (!window_full && epoch + 1 != epochs) continue;
+
+    // Spans the rest of this iteration: the whole window-close fold + export.
+    const obs::Span window_span(window_flush_phase());
 
     // Close the window: fold the engine's per-epoch records in range.
     const auto& records = engine.partial().telemetry.epochs();
@@ -175,7 +193,15 @@ ServeResult EventLoop::run(EventSource& source, WindowCsvExporter* exporter) {
     w.ingest_dropped = queue.stats().dropped();
     w.export_dropped = exporter != nullptr ? exporter->stats().lines_dropped : 0;
 
-    if (exporter != nullptr) exporter->export_window(w);
+    if (exporter != nullptr) {
+      exporter->export_window(w);
+      if (config_.metrics_rows) {
+        // Periodic metrics flush into the export stream: deterministic view
+        // only, so the row is itself under the byte-identical contract.
+        exporter->export_line("#metrics," + std::to_string(w.window) + ',' +
+                              obs::deterministic_json() + '\n');
+      }
+    }
     result.windows.push_back(w);
 
     window_hist = util::Histogram{0.0, 500.0, 1000};

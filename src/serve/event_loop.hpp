@@ -49,6 +49,12 @@ struct ServeConfig {
   std::size_t queue_capacity = 65536;
   OutOfOrderPolicy out_of_order = OutOfOrderPolicy::kClamp;
   EmaReoptConfig ema_reopt;
+  /// Periodic metrics flush: after each window's CSV row, export one
+  /// `#metrics,<window>,<json>` comment line holding the registry's
+  /// deterministic view as of that window close. Deterministic-view-only
+  /// by construction, so the rows are byte-identical across thread counts
+  /// and safe inside the determinism gate's diffed output.
+  bool metrics_rows = false;
 };
 
 struct ServeResult {

@@ -79,6 +79,8 @@ void WindowCsvExporter::export_window(const WindowStats& window) {
   offer(format_row(window));
 }
 
+void WindowCsvExporter::export_line(std::string line) { offer(std::move(line)); }
+
 void WindowCsvExporter::flush() {
   while (!buffered_.empty()) {
     if (!sink_->write(buffered_.front())) break;

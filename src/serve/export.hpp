@@ -53,6 +53,12 @@ class WindowCsvExporter {
   /// never throws on sink refusal.
   void export_window(const WindowStats& window);
 
+  /// Export one out-of-band line verbatim (the serving loop's per-window
+  /// `#metrics` snapshot rows — `#`-prefixed so CSV consumers treat them
+  /// as comments). Buffered, ordered, and dropped exactly like window
+  /// rows; the caller supplies the trailing newline.
+  void export_line(std::string line);
+
   /// Retry buffered rows (e.g. after the downstream recovered).
   void flush();
 

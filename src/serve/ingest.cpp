@@ -2,7 +2,38 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace carbonedge::serve {
+
+namespace {
+
+// Registry mirrors of IngestStats (dual-write; deterministic view — what
+// the queue did to a given event stream does not depend on lane counts).
+struct IngestMetrics {
+  obs::Counter& accepted;
+  obs::Counter& dropped_overflow;
+  obs::Counter& dropped_stale;
+  obs::Counter& clamped_stale;
+};
+
+IngestMetrics& ingest_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static IngestMetrics metrics{
+      registry.counter("serve.ingest.accepted", "events enqueued",
+                       obs::View::kDeterministic),
+      registry.counter("serve.ingest.dropped_overflow", "events dropped on a full queue",
+                       obs::View::kDeterministic),
+      registry.counter("serve.ingest.dropped_stale",
+                       "events behind the watermark dropped (policy kDrop)",
+                       obs::View::kDeterministic),
+      registry.counter("serve.ingest.clamped_stale",
+                       "events behind the watermark clamped forward (policy kClamp)",
+                       obs::View::kDeterministic)};
+  return metrics;
+}
+
+}  // namespace
 
 IngestQueue::IngestQueue(std::size_t capacity, OutOfOrderPolicy policy)
     : capacity_(capacity), policy_(policy) {
@@ -14,17 +45,21 @@ bool IngestQueue::push(Event event) {
   if (event.time_hours < watermark_) {
     if (policy_ == OutOfOrderPolicy::kDrop) {
       ++stats_.dropped_stale;
+      ingest_metrics().dropped_stale.add();
       return false;
     }
     event.time_hours = watermark_;
     ++stats_.clamped_stale;
+    ingest_metrics().clamped_stale.add();
   }
   if (events_.size() >= capacity_) {
     ++stats_.dropped_overflow;
+    ingest_metrics().dropped_overflow.add();
     return false;
   }
   events_.push_back(std::move(event));
   ++stats_.accepted;
+  ingest_metrics().accepted.add();
   return true;
 }
 

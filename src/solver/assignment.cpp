@@ -4,10 +4,67 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "solver/decompose.hpp"
 #include "solver/flow.hpp"
 
 namespace carbonedge::solver {
+
+namespace {
+
+// Registry mirrors of SolveStats, aggregated at the solve_auto entry (the
+// path every placement goes through). All integer counts of deterministic
+// solver decisions, so deterministic view even when solves run on worker
+// lanes. The size histogram observes integer values only — its sum stays
+// exact and commutative, hence thread-count independent.
+struct SolverMetrics {
+  obs::Counter& solves;
+  obs::Counter& components;
+  obs::Counter& exact_shards;
+  obs::Counter& flow_shards;
+  obs::Counter& heuristic_shards;
+  obs::Counter& unplaceable_apps;
+  obs::Counter& milp_nodes;
+  obs::Histogram& problem_apps;
+};
+
+SolverMetrics& solver_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static SolverMetrics metrics{
+      registry.counter("solver.solves", "assignment problems solved (solve_auto entries)",
+                       obs::View::kDeterministic),
+      registry.counter("solver.components", "connected components across all solves",
+                       obs::View::kDeterministic),
+      registry.counter("solver.exact_shards", "components solved by the MILP",
+                       obs::View::kDeterministic),
+      registry.counter("solver.flow_shards", "components solved by min-cost flow",
+                       obs::View::kDeterministic),
+      registry.counter("solver.heuristic_shards",
+                       "components solved by greedy + local search",
+                       obs::View::kDeterministic),
+      registry.counter("solver.unplaceable_apps", "apps with no feasible server at all",
+                       obs::View::kDeterministic),
+      registry.counter("solver.milp_nodes", "B&B nodes explored across exact shards",
+                       obs::View::kDeterministic),
+      registry.histogram("solver.problem_apps", "apps per solved assignment problem",
+                         obs::View::kDeterministic,
+                         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+                          4096.0})};
+  return metrics;
+}
+
+obs::Phase& solve_phase() {
+  static obs::Phase phase("solver.solve");
+  return phase;
+}
+
+obs::Phase& milp_phase() {
+  static obs::Phase phase("solver.milp");
+  return phase;
+}
+
+}  // namespace
 
 AssignmentProblem::AssignmentProblem(std::size_t num_apps, std::size_t num_servers,
                                      std::size_t num_resources)
@@ -117,6 +174,7 @@ bool validate(const AssignmentProblem& problem, const AssignmentSolution& soluti
 // ---------------------------------------------------------------------------
 
 AssignmentSolution solve_exact(const AssignmentProblem& problem, const MilpOptions& options) {
+  const obs::Span span(milp_phase());
   const std::size_t apps = problem.num_apps();
   const std::size_t servers = problem.num_servers();
 
@@ -523,12 +581,24 @@ AssignmentSolution solve_unsharded(const AssignmentProblem& problem,
 }
 
 AssignmentSolution solve_auto(const AssignmentProblem& problem, const AssignmentOptions& options) {
+  const obs::Span span(solve_phase());
   // Unit-slot instances keep the monolithic min-cost-flow path: it is
   // already exact and near-linear in the pair count, so decomposing would
   // only perturb equal-cost tie-breaking. Everything else is sharded so
   // exact_size_limit applies per connected component.
-  if (!options.shard || problem.is_unit_slot()) return solve_unsharded(problem, options);
-  return solve_sharded(problem, options);
+  AssignmentSolution solution = !options.shard || problem.is_unit_slot()
+                                    ? solve_unsharded(problem, options)
+                                    : solve_sharded(problem, options);
+  SolverMetrics& metrics = solver_metrics();
+  metrics.solves.add();
+  metrics.components.add(solution.stats.components);
+  metrics.exact_shards.add(solution.stats.exact_shards);
+  metrics.flow_shards.add(solution.stats.flow_shards);
+  metrics.heuristic_shards.add(solution.stats.heuristic_shards);
+  metrics.unplaceable_apps.add(solution.stats.unplaceable_apps);
+  metrics.milp_nodes.add(solution.stats.milp_nodes);
+  metrics.problem_apps.observe(static_cast<double>(problem.num_apps()));
+  return solution;
 }
 
 }  // namespace carbonedge::solver

@@ -10,11 +10,53 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/env.hpp"
 
 namespace carbonedge::store {
 
 namespace {
+
+// Registry mirrors (dual-write next to the per-instance corrupt_reads_):
+// reads/hits/writes are pure functions of the request stream against a
+// given on-disk state, so they sit in the deterministic view.
+struct ArtifactMetrics {
+  obs::Counter& reads;
+  obs::Counter& read_hits;
+  obs::Counter& corrupt_reads;
+  obs::Counter& writes;
+};
+
+ArtifactMetrics& artifact_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static ArtifactMetrics metrics{
+      registry.counter("store.artifact.reads", "artifact load attempts",
+                       obs::View::kDeterministic),
+      registry.counter("store.artifact.read_hits", "artifact loads that returned a payload",
+                       obs::View::kDeterministic),
+      registry.counter("store.artifact.corrupt_reads",
+                       "reads that found a corrupt entry (treated as misses)",
+                       obs::View::kDeterministic),
+      registry.counter("store.artifact.writes", "artifact publishes attempted",
+                       obs::View::kDeterministic)};
+  return metrics;
+}
+
+obs::Phase& read_phase() {
+  static obs::Phase phase("store.read");
+  return phase;
+}
+
+obs::Phase& write_phase() {
+  static obs::Phase phase("store.write");
+  return phase;
+}
+
+obs::Phase& gc_phase() {
+  static obs::Phase phase("store.gc");
+  return phase;
+}
 
 constexpr ArtifactKind kAllKinds[] = {ArtifactKind::kCarbonTrace, ArtifactKind::kLatencyMatrix,
                                       ArtifactKind::kSweepOutcome};
@@ -67,23 +109,29 @@ bool ArtifactStore::contains(ArtifactKind kind, std::string_view key) const {
 }
 
 std::optional<std::string> ArtifactStore::load(ArtifactKind kind, std::string_view key) const {
+  const obs::Span span(read_phase());
+  artifact_metrics().reads.add();
   const std::filesystem::path path = entry_path(kind, key);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
   try {
     Artifact artifact = read_artifact_file(path);
     if (artifact.kind != kind) throw std::runtime_error("kind mismatch");
+    artifact_metrics().read_hits.add();
     return std::move(artifact.payload);
   } catch (const std::exception&) {
     // Torn by a crashed writer, bit rot, or a foreign file under our name:
     // report a miss so the caller regenerates and overwrites it.
     corrupt_reads_.fetch_add(1, std::memory_order_relaxed);
+    artifact_metrics().corrupt_reads.add();
     return std::nullopt;
   }
 }
 
 void ArtifactStore::save(ArtifactKind kind, std::string_view key,
                          std::string_view payload) const {
+  const obs::Span span(write_phase());
+  artifact_metrics().writes.add();
   write_artifact_file(entry_path(kind, key), kind, payload);
 }
 
@@ -141,6 +189,7 @@ std::int64_t last_use_ns(const std::filesystem::path& path) {
 }  // namespace
 
 ArtifactStore::GcReport ArtifactStore::gc(std::uintmax_t max_bytes) const {
+  const obs::Span span(gc_phase());
   GcReport report;
   // Snapshot LRU candidates before anything below opens entry contents:
   // the integrity sweep's reads would refresh every entry's atime and

@@ -9,11 +9,41 @@
 #include "geo/city.hpp"
 #include "sim/device.hpp"
 #include "sim/workload.hpp"
+#include "obs/metrics.hpp"
 #include "solver/assignment.hpp"
 #include "store/codecs.hpp"
 #include "util/hash.hpp"
 
 namespace carbonedge::store {
+
+namespace {
+
+// Registry mirrors of the per-instance atomics (dual-write): deterministic
+// view — for a fixed on-disk state the hit/miss/store/failure pattern is a
+// pure function of the grid.
+struct SweepMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& stores;
+  obs::Counter& write_failures;
+};
+
+SweepMetrics& sweep_metrics() {
+  obs::Registry& registry = obs::Registry::global();
+  static SweepMetrics metrics{
+      registry.counter("store.sweep.hits", "sweep cells resumed from disk",
+                       obs::View::kDeterministic),
+      registry.counter("store.sweep.misses", "sweep-cell lookups that missed",
+                       obs::View::kDeterministic),
+      registry.counter("store.sweep.stores", "freshly computed cells persisted",
+                       obs::View::kDeterministic),
+      registry.counter("store.sweep.write_failures",
+                       "cell persists that failed (store degraded to memory-only)",
+                       obs::View::kDeterministic)};
+  return metrics;
+}
+
+}  // namespace
 
 namespace {
 
@@ -114,6 +144,7 @@ std::optional<core::SimulationResult> SweepStore::load(const runner::Scenario& s
     try {
       core::SimulationResult result = decode_outcome(*payload);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      sweep_metrics().hits.add();
       return result;
     } catch (const std::exception&) {
       // Checksum-valid but undecodable (schema drift): recompute the cell;
@@ -121,6 +152,7 @@ std::optional<core::SimulationResult> SweepStore::load(const runner::Scenario& s
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  sweep_metrics().misses.add();
   return std::nullopt;
 }
 
@@ -132,9 +164,11 @@ void SweepStore::save(const runner::Scenario& scenario, const core::SimulationRe
     // Persisting is best-effort: a full or read-only store must not kill a
     // sweep whose cell already computed — the cell just won't resume warm.
     write_failures_.fetch_add(1, std::memory_order_relaxed);
+    sweep_metrics().write_failures.add();
     return;
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
+  sweep_metrics().stores.add();
 }
 
 }  // namespace carbonedge::store

@@ -51,6 +51,13 @@ class SweepStore final : public runner::CellCache {
   /// already good, it just won't resume warm.
   void save(const runner::Scenario& scenario, const core::SimulationResult& result) override;
 
+  /// Degradation counters for ScenarioRunner::summarize's Store column: a
+  /// nonzero write_failures means this sweep ran memory-only for some
+  /// cells and will not resume warm.
+  [[nodiscard]] runner::CellCacheHealth health() const override {
+    return {stores(), write_failures()};
+  }
+
   [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifacts() const noexcept {
     return artifacts_;
   }

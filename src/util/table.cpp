@@ -29,6 +29,12 @@ void Table::add_row(const std::string& label, const std::vector<double>& values,
 
 void Table::add_separator() { separators_.push_back(rows_.size()); }
 
+void Table::append_column(std::string header, const std::string& value) {
+  header_.push_back(std::move(header));
+  aligns_.push_back(Align::kRight);
+  for (auto& row : rows_) row.push_back(value);
+}
+
 void Table::set_align(std::size_t column, Align align) {
   if (column < aligns_.size()) aligns_[column] = align;
 }

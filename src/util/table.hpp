@@ -29,6 +29,10 @@ class Table {
   /// Insert a horizontal separator after the current last row.
   void add_separator();
 
+  /// Append one column filled with `value` in every existing row (rows
+  /// added later size themselves to the widened header).
+  void append_column(std::string header, const std::string& value);
+
   void set_align(std::size_t column, Align align);
   void set_title(std::string title) { title_ = std::move(title); }
 

@@ -117,6 +117,44 @@ TEST(LintD1, NeverFiresInsideCommentsOrStrings) {
   EXPECT_TRUE(lint_one("src/x.cpp", src).empty());
 }
 
+TEST(LintD1, ClockFindingDirectsToTheObsShim) {
+  // The fix-it half of the rule: a raw clock read's message must point at
+  // the sanctioned replacement so the finding is actionable.
+  const auto findings =
+      lint_one("src/core/x.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_TRUE(has_rule(findings, "D1"));
+  EXPECT_NE(findings[0].message.find("obs::now_ns"), std::string::npos);
+}
+
+TEST(LintD1, ObsClockShimSanctionIsScopedToExactlyOneFile) {
+  const std::string shim_like =
+      "std::uint64_t now_ns() {\n"
+      "  return static_cast<std::uint64_t>(\n"
+      "      std::chrono::steady_clock::now().time_since_epoch().count());\n"
+      "}\n";
+  // Without its allowlist entry the shim body fires like any other file —
+  // the sanction lives in the allowlist, not in the rule.
+  EXPECT_TRUE(has_rule(lint_one("src/obs/clock.cpp", shim_like), "D1"));
+
+  // With the repo's entry, the shim is quiet and every other clock read
+  // still fires: the one escape hatch cannot widen.
+  std::vector<Finding> parse_errors;
+  std::vector<AllowlistEntry> allowlist = parse_allowlist(
+      "D1 src/obs/clock.cpp the one sanctioned monotonic-clock read\n", "allowlist",
+      parse_errors);
+  ASSERT_TRUE(parse_errors.empty());
+  std::vector<SourceFile> files{
+      {"src/obs/clock.cpp", shim_like},
+      {"src/core/sneaky.cpp", "auto t = std::chrono::steady_clock::now();\n"},
+  };
+  const auto findings = run_lint(files, allowlist);
+  ASSERT_EQ(count_rule(findings, "D1"), 1u);
+  const auto fired = std::find_if(findings.begin(), findings.end(),
+                                  [](const Finding& f) { return f.rule == "D1"; });
+  EXPECT_EQ(fired->file, "src/core/sneaky.cpp");
+  EXPECT_TRUE(allowlist[0].used);
+}
+
 TEST(LintD1, SuppressedOnSameLineAndFromLineAbove) {
   const std::string same_line =
       "auto t0 = std::chrono::steady_clock::now();  // lint: nondeterminism-ok(telemetry only)\n";

@@ -34,7 +34,9 @@ void rule_d1(const FileScan& fs, std::vector<Finding>& findings) {
        "std::random_device draws host entropy; every seed must come from the "
        "config so runs replay"},
       {std::regex(R"(\b(?:[A-Za-z_][A-Za-z0-9_]*_clock|clock)\s*::\s*now\s*\()"),
-       "clock read: wall/steady time must never influence simulation output"},
+       "clock read: wall/steady time must never influence simulation output; "
+       "time telemetry goes through obs::now_ns (src/obs/clock.hpp), the one "
+       "sanctioned and fake-injectable monotonic source"},
       {std::regex(R"(\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"),
        "time(): wall time must never influence simulation output"},
       {std::regex(R"(\bthis_thread\s*::\s*get_id\b)"),
