@@ -14,8 +14,8 @@
 #include "carbon/trace.hpp"
 #include "core/policy.hpp"
 #include "core/simulation.hpp"
-#include "geo/city.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "runner/scenario_grid.hpp"
 #include "runner/scenario_runner.hpp"
 #include "util/table.hpp"

@@ -9,9 +9,9 @@
 #include "carbon/synthesizer.hpp"
 #include "carbon/trace.hpp"
 #include "carbon/zone.hpp"
-#include "geo/city.hpp"
 #include "geo/coord.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;

@@ -7,10 +7,10 @@
 #include "bench_util.hpp"
 
 #include "analysis/mesoscale.hpp"
-#include "geo/city.hpp"
 #include "geo/coord.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;

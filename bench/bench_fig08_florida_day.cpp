@@ -6,8 +6,8 @@
 #include "bench_util.hpp"
 #include "core/policy.hpp"
 #include "core/simulation.hpp"
-#include "geo/city.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "sim/app_model.hpp"
 #include "sim/datacenter.hpp"
 #include "sim/device.hpp"

@@ -19,6 +19,7 @@
 #include "geo/city.hpp"
 #include "geo/coord.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "runner/scenario_grid.hpp"
 
 #include "runner/scenario_runner.hpp"

@@ -52,6 +52,64 @@ foreach(probe sweep single serve)
   message(STATUS "determinism gate: probe '${probe}' byte-identical across thread counts")
 endforeach()
 
+# Compiled-catalog probes: build the checked-in sample dump into a scratch
+# store (no network — tests/data/sites_sample.tsv ships with the repo), then
+# run a spatial-index radius query and a banded-latency catalog sweep under
+# both thread counts. The build output carries the content-addressed key, so
+# diffing it also pins key stability across lane counts.
+set(CATALOG_TSV ${CMAKE_CURRENT_LIST_DIR}/../tests/data/sites_sample.tsv)
+set(CATALOG_STORE ${OUT_DIR}/catalog-store)
+file(MAKE_DIRECTORY ${CATALOG_STORE})
+foreach(threads 1 4)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env CARBONEDGE_THREADS=${threads}
+            ${CLI} catalog --dir ${CATALOG_STORE} build ${CATALOG_TSV}
+    OUTPUT_FILE ${OUT_DIR}/catalog-build-t${threads}.txt
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "determinism probe 'catalog build' failed with CARBONEDGE_THREADS=${threads} (exit ${status})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/catalog-build-t1.txt ${OUT_DIR}/catalog-build-t4.txt
+  RESULT_VARIABLE identical)
+if(NOT identical EQUAL 0)
+  message(FATAL_ERROR "determinism gate: catalog build output differs between thread counts")
+endif()
+file(READ ${OUT_DIR}/catalog-build-t1.txt build_output)
+string(REGEX MATCH "key ([0-9a-f]+)" _ "${build_output}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "determinism gate: could not parse catalog key from build output:\n${build_output}")
+endif()
+set(CATALOG_KEY ${CMAKE_MATCH_1})
+
+# Radius query (spatial index, exact distances) and a 12-site banded sweep
+# (sparse LatencyProvider through region construction, solver, and engine).
+set(PROBE_catalog_radius "catalog;--dir;${CATALOG_STORE};radius;${CATALOG_KEY};52.0;5.0;400")
+set(PROBE_catalog_sweep "catalog;--dir;${CATALOG_STORE};sweep;${CATALOG_KEY};24;--max-sites=12;--band=12")
+foreach(probe catalog_radius catalog_sweep)
+  foreach(threads 1 4)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env CARBONEDGE_THREADS=${threads} ${CLI} ${PROBE_${probe}}
+      OUTPUT_FILE ${OUT_DIR}/${probe}-t${threads}.txt
+      RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "determinism probe '${probe}' failed with CARBONEDGE_THREADS=${threads} (exit ${status})")
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT_DIR}/${probe}-t1.txt ${OUT_DIR}/${probe}-t4.txt
+    RESULT_VARIABLE identical)
+  if(NOT identical EQUAL 0)
+    message(FATAL_ERROR "determinism gate: probe '${probe}' differs between "
+                        "CARBONEDGE_THREADS=1 and =4 — compare ${OUT_DIR}/${probe}-t1.txt "
+                        "against ${OUT_DIR}/${probe}-t4.txt")
+  endif()
+  message(STATUS "determinism gate: probe '${probe}' byte-identical across thread counts")
+endforeach()
+
 # The metrics snapshot's deterministic view is under the same contract: the
 # counts/bytes/invocations it reports must not depend on the worker budget.
 # Extract the "deterministic" object from each JSON snapshot (the exporter

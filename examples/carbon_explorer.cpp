@@ -14,10 +14,10 @@
 #include "carbon/caltime.hpp"
 #include "carbon/service.hpp"
 #include "carbon/trace.hpp"
-#include "geo/city.hpp"
 #include "geo/coord.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "util/table.hpp"
 
 using namespace carbonedge;

@@ -30,6 +30,20 @@
 //   carbonedge_cli store warm [region...]       pre-synthesize traces into the
 //                                               persistent artifact store
 //   carbonedge_cli store ls | verify | gc       inspect / checksum / clean it
+//   carbonedge_cli catalog build <sites.tsv>    compile a GeoNames-style site
+//                                               dump into the store; prints the
+//                                               content key
+//   carbonedge_cli catalog info <key>           summarize a compiled catalog
+//   carbonedge_cli catalog nearest <key> <lat> <lon>
+//   carbonedge_cli catalog radius <key> <lat> <lon> <km>
+//                                               spatial-index queries (output
+//                                               is byte-identical to the
+//                                               brute-force oracle; the
+//                                               determinism gate diffs radius)
+//   carbonedge_cli catalog sweep <key> <epochs> [--max-sites=<n>] [--band=<ms>]
+//                                               single-cell CarbonEdge sweep
+//                                               over a compiled catalog, with
+//                                               an optional sparse latency band
 //   carbonedge_cli metrics                      enumerate the obs registry
 //                                               (name, kind, view, value)
 //
@@ -40,8 +54,8 @@
 // `--metrics-rows` to interleave per-window `#metrics` snapshot rows into
 // the --export stream.
 //
-// The store subcommands operate on CARBONEDGE_STORE_DIR (or the directory
-// given as `store --dir <path> <subcommand>`).
+// The store and catalog subcommands operate on CARBONEDGE_STORE_DIR (or the
+// directory given as `store|catalog --dir <path> <subcommand>`).
 //
 // Regions: florida, west_us, italy, central_eu, cdn_us, cdn_eu.
 // Policies: latency, energy, intensity, carbonedge, alpha=<0..1>.
@@ -52,6 +66,8 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "analysis/mesoscale.hpp"
 #include "carbon/service.hpp"
 #include "carbon/synthesizer.hpp"
@@ -61,10 +77,13 @@
 #include "carbon/zone.hpp"
 #include "core/policy.hpp"
 #include "core/simulation.hpp"
+#include "geo/catalog.hpp"
 #include "geo/city.hpp"
 #include "geo/coord.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
+#include "geo/spatial_index.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "runner/scenario_grid.hpp"
@@ -76,6 +95,7 @@
 #include "sim/datacenter.hpp"
 #include "sim/device.hpp"
 #include "store/artifact_store.hpp"
+#include "store/site_catalog.hpp"
 #include "store/sweep_store.hpp"
 #include "store/trace_tier.hpp"
 #include "util/env.hpp"
@@ -99,6 +119,9 @@ int usage() {
                "       export-traces <region> <file> |\n"
                "       store [--dir <path>] warm [region...] | ls | verify | gc "
                "[--max-bytes=<n>] |\n"
+               "       catalog [--dir <path>] build <sites.tsv> | info <key> |\n"
+               "           nearest <key> <lat> <lon> | radius <key> <lat> <lon> <km> |\n"
+               "           sweep <key> <epochs> [--max-sites=<n>] [--band=<ms>] |\n"
                "       metrics\n"
                "regions: florida west_us italy central_eu cdn_us cdn_eu\n"
                "policies: latency energy intensity carbonedge alpha=<0..1>\n"
@@ -546,6 +569,167 @@ int cmd_store(int argc, char** argv) {
   return usage();
 }
 
+// --------------------------------------------------------------- catalog --
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+geo::CompiledSiteCatalog require_catalog(const store::ArtifactStore& artifacts,
+                                         const std::string& key) {
+  auto catalog = store::load_site_catalog(artifacts, key);
+  if (!catalog) {
+    throw std::runtime_error("no compiled catalog under key " + key +
+                             " (build one with `catalog build <sites.tsv>`)");
+  }
+  return std::move(*catalog);
+}
+
+int cmd_catalog_build(const store::ArtifactStore& artifacts, const std::string& path) {
+  const std::string key = store::build_site_catalog(artifacts, read_text_file(path));
+  // Round-trip through the store before reporting success: the count below
+  // comes from the decoded blob, not the parse, so a publish that cannot be
+  // read back fails here instead of at first use.
+  const geo::CompiledSiteCatalog catalog = require_catalog(artifacts, key);
+  std::cout << "compiled " << catalog.size() << " sites from " << path << "\n"
+            << "key " << key << "\n";
+  return 0;
+}
+
+int cmd_catalog_info(const store::ArtifactStore& artifacts, const std::string& key) {
+  const geo::CompiledSiteCatalog catalog = require_catalog(artifacts, key);
+  std::size_t na = 0;
+  std::size_t eu = 0;
+  double population_k = 0.0;
+  std::vector<geo::GeoPoint> points;
+  points.reserve(catalog.size());
+  for (const geo::City& city : catalog.all()) {
+    (city.continent == geo::Continent::kNorthAmerica ? na : eu) += 1;
+    population_k += city.population_k;
+    points.push_back(city.location);
+  }
+  const geo::BoundingBox box = geo::bounding_box(points);
+  std::cout << "catalog " << key << ": " << catalog.size() << " sites (" << na << " NA, " << eu
+            << " EU)\n"
+            << "  population: " << util::format_fixed(population_k / 1000.0, 1) << " M\n"
+            << "  extent: " << util::format_fixed(box.width_km(), 0) << " km x "
+            << util::format_fixed(box.height_km(), 0) << " km\n";
+  return 0;
+}
+
+int cmd_catalog_nearest(const store::ArtifactStore& artifacts, const std::string& key,
+                        double lat, double lon) {
+  const geo::CompiledSiteCatalog catalog = require_catalog(artifacts, key);
+  const geo::SpatialIndex index(catalog);
+  const geo::GeoPoint query{lat, lon};
+  const auto id = index.nearest(query);
+  if (!id) {
+    std::cout << "catalog is empty\n";
+    return 1;
+  }
+  const geo::City& city = catalog.by_id(*id);
+  std::cout << "nearest to (" << util::format_fixed(lat, 4) << ", "
+            << util::format_fixed(lon, 4) << "): " << city.name << ", " << city.country << " ("
+            << util::format_fixed(geo::haversine_km(query, city.location), 1) << " km)\n";
+  return 0;
+}
+
+int cmd_catalog_radius(const store::ArtifactStore& artifacts, const std::string& key,
+                       double lat, double lon, double km) {
+  const geo::CompiledSiteCatalog catalog = require_catalog(artifacts, key);
+  const geo::SpatialIndex index(catalog);
+  const geo::GeoPoint query{lat, lon};
+  // Ascending SiteId with exact haversine distances: byte-identical to a
+  // brute-force scan (the determinism gate diffs this output).
+  util::Table table({"Site", "Country", "km"});
+  table.set_title(util::format_fixed(km, 0) + " km around (" + util::format_fixed(lat, 4) +
+                  ", " + util::format_fixed(lon, 4) + ")");
+  for (const geo::SiteId id : index.within_radius(query, km)) {
+    const geo::City& city = catalog.by_id(id);
+    table.add_row({city.name, city.country,
+                   util::format_fixed(geo::haversine_km(query, city.location), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_catalog_sweep(const store::ArtifactStore& artifacts, std::vector<std::string> args) {
+  const std::string key = args[0];
+  const std::uint32_t epochs = static_cast<std::uint32_t>(std::stoul(args[1]));
+  std::size_t max_sites = 0;
+  double band = 0.0;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i].rfind("--max-sites=", 0) == 0) {
+      max_sites = parse_flag_unsigned(args[i], 12);
+    } else if (args[i].rfind("--band=", 0) == 0) {
+      band = parse_flag_double(args[i], 7);
+    } else {
+      std::cerr << "error: unknown catalog sweep argument " << args[i] << "\n";
+      return 2;
+    }
+  }
+
+  const geo::CompiledSiteCatalog catalog = require_catalog(artifacts, key);
+  const geo::Region region =
+      geo::catalog_region(catalog, "catalog " + key.substr(0, 8), max_sites);
+
+  // The same engine knobs as `sweep --single`, collapsed to one CarbonEdge
+  // cell; --band switches the cell's geography to the sparse
+  // BandedLatencyMatrix. No sweep store is attached even though a --dir is
+  // in hand: the determinism gate reruns this at several thread counts and
+  // must diff recomputations, not a warm resume.
+  core::SimulationConfig config;
+  config.epochs = epochs;
+  config.workload.arrivals_per_site = 1.0;
+  config.workload.mean_lifetime_epochs = 12.0;
+  config.workload.max_defer_epochs = 6;
+  config.workload.model_weights = {1.0, 1.0, 1.0, 0.0};
+  config.workload.seed = 1234;
+  config.reoptimize_every = 16;
+  config.migration.cost_aware = true;
+  config.failures.mtbf_epochs = 300.0;
+  runner::ScenarioGrid grid(config);
+  grid.with_regions({region}).with_policies({core::PolicyConfig::carbon_edge()});
+  if (band > 0.0) grid.with_latency_bands({band});
+  const auto outcomes = runner::ScenarioRunner().run(grid);
+  runner::ScenarioRunner::summarize(outcomes).print(std::cout);
+  return 0;
+}
+
+int cmd_catalog(int argc, char** argv) {
+  // `catalog [--dir <path>] <subcommand> [args...]`; same directory
+  // convention as `store`.
+  std::vector<std::string> args(argv + 2, argv + argc);
+  std::string dir = util::env::get_or("CARBONEDGE_STORE_DIR", "");
+  if (args.size() >= 2 && args[0] == "--dir") {
+    dir = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+  }
+  if (args.empty()) return usage();
+  if (dir.empty()) {
+    std::cerr << "error: no store directory (set CARBONEDGE_STORE_DIR or pass --dir)\n";
+    return 2;
+  }
+  const store::ArtifactStore artifacts(dir);
+  const std::string sub = args[0];
+  args.erase(args.begin());
+  if (sub == "build" && args.size() == 1) return cmd_catalog_build(artifacts, args[0]);
+  if (sub == "info" && args.size() == 1) return cmd_catalog_info(artifacts, args[0]);
+  if (sub == "nearest" && args.size() == 3) {
+    return cmd_catalog_nearest(artifacts, args[0], std::stod(args[1]), std::stod(args[2]));
+  }
+  if (sub == "radius" && args.size() == 4) {
+    return cmd_catalog_radius(artifacts, args[0], std::stod(args[1]), std::stod(args[2]),
+                              std::stod(args[3]));
+  }
+  if (sub == "sweep" && args.size() >= 2) return cmd_catalog_sweep(artifacts, std::move(args));
+  return usage();
+}
+
 int cmd_metrics() {
   // Enumerate the registry after collecting the sampled process gauges. A
   // fresh process registers most metrics lazily at first use, so right
@@ -618,6 +802,7 @@ int dispatch(int argc, char** argv) {
     }
     if (command == "export-traces" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (command == "store" && argc >= 3) return cmd_store(argc, argv);
+    if (command == "catalog" && argc >= 3) return cmd_catalog(argc, argv);
     if (command == "metrics") return cmd_metrics();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

@@ -11,9 +11,9 @@
 #include "carbon/service.hpp"
 #include "carbon/synthesizer.hpp"
 #include "carbon/trace.hpp"
-#include "geo/city.hpp"
 #include "geo/latency.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "util/stats.hpp"
 
 namespace carbonedge::analysis {

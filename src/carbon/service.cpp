@@ -4,7 +4,7 @@
 
 #include "carbon/trace_cache.hpp"
 #include "carbon/zone.hpp"
-#include "geo/city.hpp"
+#include "geo/site.hpp"
 
 namespace carbonedge::carbon {
 

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "carbon/mix.hpp"
-#include "geo/city.hpp"
+#include "geo/site.hpp"
 
 namespace carbonedge::carbon {
 

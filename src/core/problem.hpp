@@ -18,7 +18,7 @@ namespace carbonedge::core {
 /// Inputs shared by every placement call of one epoch.
 struct PlacementInput {
   sim::EdgeCluster* cluster = nullptr;
-  const geo::LatencyMatrix* latency = nullptr;        // site x site one-way ms
+  const geo::LatencyProvider* latency = nullptr;      // site x site one-way ms
   const carbon::CarbonIntensityService* carbon = nullptr;
   carbon::HourIndex now = 0;
   std::uint32_t forecast_horizon_hours = 1;  // window for the mean forecast Ī_j

@@ -137,7 +137,7 @@ class SimulationEngine {
   /// `cluster` is the initial state (a pristine copy, never shared).
   /// `latency` and `carbon` must outlive the engine.
   SimulationEngine(sim::EdgeCluster cluster, const carbon::CarbonIntensityService& carbon,
-                   const geo::LatencyMatrix& latency, const SimulationConfig& config,
+                   const geo::LatencyProvider& latency, const SimulationConfig& config,
                    util::ParallelismBudget* budget = nullptr, std::size_t lane_cap = 0);
   ~SimulationEngine();
   SimulationEngine(const SimulationEngine&) = delete;
@@ -191,7 +191,7 @@ class SimulationEngine {
   SimulationConfig config_;
   sim::EdgeCluster cluster_;
   const carbon::CarbonIntensityService* carbon_;
-  const geo::LatencyMatrix* latency_;
+  const geo::LatencyProvider* latency_;
   util::ParallelismBudget::Lease lease_;
   std::size_t lanes_ = 1;
   std::unique_ptr<util::ThreadPool> shard_pool_;
@@ -243,8 +243,15 @@ class SimulationEngine {
 /// including the fully serial engine.
 class EdgeSimulation {
  public:
+  /// `latency_band_one_way_ms == 0` builds the dense LatencyMatrix over the
+  /// cluster's sites; a positive band builds the sparse BandedLatencyMatrix
+  /// instead (pairs beyond the band are never-feasible), which is what lets
+  /// 1000+-site geographies skip the n^2 materialization. The band is a
+  /// construction-time property of the geography, not a per-run config
+  /// knob, because the serving mode builds engines from latency() directly.
   EdgeSimulation(sim::EdgeCluster cluster, const carbon::CarbonIntensityService& carbon,
-                 geo::LatencyModel latency_model = geo::LatencyModel{});
+                 geo::LatencyModel latency_model = geo::LatencyModel{},
+                 double latency_band_one_way_ms = 0.0);
 
   [[nodiscard]] SimulationResult run(const SimulationConfig& config);
 
@@ -257,7 +264,7 @@ class EdgeSimulation {
   /// the first cell monopolize them.
   void set_lane_cap(std::size_t lanes) noexcept { lane_cap_ = lanes; }
 
-  [[nodiscard]] const geo::LatencyMatrix& latency() const noexcept { return latency_; }
+  [[nodiscard]] const geo::LatencyProvider& latency() const noexcept { return *latency_; }
   [[nodiscard]] const sim::EdgeCluster& pristine_cluster() const noexcept { return pristine_; }
   [[nodiscard]] const carbon::CarbonIntensityService& carbon_service() const noexcept {
     return *carbon_;
@@ -272,7 +279,7 @@ class EdgeSimulation {
 
   sim::EdgeCluster pristine_;
   const carbon::CarbonIntensityService* carbon_;
-  geo::LatencyMatrix latency_;
+  std::unique_ptr<const geo::LatencyProvider> latency_;
   util::ParallelismBudget* budget_ = nullptr;  // nullptr = util::global_budget()
   std::size_t lane_cap_ = 0;
 };

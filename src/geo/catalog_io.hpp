@@ -1,0 +1,28 @@
+// Catalog ingest: parse a GeoNames-style places dump into site rows.
+//
+// The dump is tab-separated, one site per line, UTF-8, with `#` comment
+// lines and blank lines ignored:
+//
+//   name <TAB> country <TAB> continent <TAB> lat <TAB> lon <TAB> population_k
+//
+// `country` is ISO-3166 alpha-2; `continent` is NA or EU; `lat`/`lon` are
+// WGS-84 degrees; `population_k` is the metro population in thousands.
+// SiteIds are assigned 0..n-1 in dump order, so the same dump always
+// compiles to the same catalog. Parsing happens once — `carbonedge_cli
+// catalog build` compiles the result into a CEAF blob in the artifact store
+// (store/site_catalog.hpp) and everything downstream loads that.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "geo/site.hpp"
+
+namespace carbonedge::geo {
+
+/// Parses a sites dump. Throws std::runtime_error naming the 1-based line on
+/// any malformed row (wrong column count, bad continent tag, coordinates or
+/// population out of range, empty or duplicate name).
+[[nodiscard]] std::vector<City> parse_sites_tsv(std::string_view text);
+
+}  // namespace carbonedge::geo

@@ -5,52 +5,30 @@
 // coordinates and metro populations. Every city named in the paper
 // (Figures 1-4, Table 1, Section 6.3.3) is present so the regional
 // experiments run against the paper's own geography.
+//
+// CityDatabase is the paper-exact SiteCatalog implementation: any API that
+// takes `const SiteCatalog&` accepts `CityDatabase::builtin()` directly, and
+// the lookup helpers (by_id/find/require/by_continent/nearest) are inherited
+// from the catalog interface unchanged.
 #pragma once
 
-#include <cstdint>
-#include <optional>
 #include <span>
-#include <string>
-#include <string_view>
 #include <vector>
 
-#include "geo/coord.hpp"
+#include "geo/catalog.hpp"
+#include "geo/site.hpp"
 
 namespace carbonedge::geo {
 
-/// Identifier of a city within the built-in database (stable across runs).
-using CityId = std::uint32_t;
-
-struct City {
-  CityId id = 0;
-  std::string name;
-  std::string country;  // ISO-3166 alpha-2
-  Continent continent = Continent::kNorthAmerica;
-  GeoPoint location;
-  double population_k = 0.0;  // metro population, thousands
-};
-
 /// Read-only view over the built-in city set with name/id lookup.
-class CityDatabase {
+class CityDatabase final : public SiteCatalog {
  public:
   /// The singleton built-in database.
   [[nodiscard]] static const CityDatabase& builtin();
 
-  [[nodiscard]] std::span<const City> all() const noexcept { return cities_; }
-  [[nodiscard]] const City& by_id(CityId id) const;
-  [[nodiscard]] std::optional<CityId> find(std::string_view name) const noexcept;
-
-  /// Lookup that throws std::out_of_range with the name on miss — regional
-  /// builders use this so a typo fails loudly.
-  [[nodiscard]] const City& require(std::string_view name) const;
-
-  /// All cities on a continent, ordered by descending population.
-  [[nodiscard]] std::vector<CityId> by_continent(Continent continent) const;
-
-  /// Nearest city to a point (linear scan; the DB is small).
-  [[nodiscard]] CityId nearest(const GeoPoint& point) const;
-
-  [[nodiscard]] std::size_t size() const noexcept { return cities_.size(); }
+  [[nodiscard]] std::span<const City> all() const noexcept override {
+    return cities_;
+  }
 
  private:
   CityDatabase();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 namespace carbonedge::geo {
 namespace {
@@ -11,6 +12,11 @@ constexpr double kEarthRadiusKm = 6371.0088;
 
 constexpr double radians(double degrees) noexcept {
   return degrees * std::numbers::pi / 180.0;
+}
+
+/// Normalizes a longitude to [-180, 180).
+double norm_lon(double lon_deg) noexcept {
+  return lon_deg - 360.0 * std::floor((lon_deg + 180.0) / 360.0);
 }
 
 }  // namespace
@@ -41,10 +47,56 @@ void BoundingBox::extend(const GeoPoint& p) noexcept {
   max.lon_deg = std::max(max.lon_deg, p.lon_deg);
 }
 
+double BoundingBox::lon_span_deg() const noexcept {
+  if (max.lat_deg < min.lat_deg) return 0.0;  // empty box
+  const double span = max.lon_deg - min.lon_deg;
+  return span >= 0.0 ? span : span + 360.0;
+}
+
 double BoundingBox::width_km() const noexcept {
   if (max.lat_deg < min.lat_deg) return 0.0;
   const double mid_lat = (min.lat_deg + max.lat_deg) / 2.0;
-  return haversine_km({mid_lat, min.lon_deg}, {mid_lat, max.lon_deg});
+  if (min.lon_deg <= max.lon_deg) {
+    return haversine_km({mid_lat, min.lon_deg}, {mid_lat, max.lon_deg});
+  }
+  // Wrapped (antimeridian-crossing) interval: measure the true span. Up to
+  // a half turn the haversine between the interval's ends matches the
+  // unwrapped formula for an equal-width box; beyond it the great circle
+  // would cut the short way round, so use the arc along the parallel.
+  const double span = lon_span_deg();
+  if (span <= 180.0) {
+    return haversine_km({mid_lat, 0.0}, {mid_lat, span});
+  }
+  return radians(span) * kEarthRadiusKm * std::cos(radians(mid_lat));
+}
+
+BoundingBox bounding_box(std::span<const GeoPoint> points) {
+  BoundingBox box;
+  if (points.empty()) return box;
+  std::vector<double> lons;
+  lons.reserve(points.size());
+  for (const GeoPoint& p : points) {
+    box.min.lat_deg = std::min(box.min.lat_deg, p.lat_deg);
+    box.max.lat_deg = std::max(box.max.lat_deg, p.lat_deg);
+    lons.push_back(norm_lon(p.lon_deg));
+  }
+  std::sort(lons.begin(), lons.end());
+  // The tightest covering interval is the circle minus the largest gap
+  // between adjacent longitudes. Seeding with the wraparound gap (east end
+  // around to west end) makes non-straddling point sets reproduce the naive
+  // extend() box bit for bit; ties keep that seed.
+  double best_gap = (lons.front() + 360.0) - lons.back();
+  std::size_t gap_after = lons.size() - 1;
+  for (std::size_t i = 0; i + 1 < lons.size(); ++i) {
+    const double gap = lons[i + 1] - lons[i];
+    if (gap > best_gap) {
+      best_gap = gap;
+      gap_after = i;
+    }
+  }
+  box.min.lon_deg = lons[(gap_after + 1) % lons.size()];
+  box.max.lon_deg = lons[gap_after];
+  return box;
 }
 
 double BoundingBox::height_km() const noexcept {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <compare>
+#include <span>
 
 namespace carbonedge::geo {
 
@@ -25,14 +26,30 @@ struct GeoPoint {
 
 /// Axis-aligned bounding box of a set of points; used to report region
 /// extents like the paper's "807km x 712km" annotations in Figure 2.
+///
+/// The longitude interval may wrap across the antimeridian: `min.lon_deg >
+/// max.lon_deg` means the box spans [min.lon, 180] U [-180, max.lon].
+/// extend() alone never produces a wrapped box (it min/maxes per axis);
+/// wrapped boxes come from bounding_box(), which picks the smallest
+/// longitude interval covering the points.
 struct BoundingBox {
   GeoPoint min{90.0, 180.0};
   GeoPoint max{-90.0, -180.0};
 
   void extend(const GeoPoint& p) noexcept;
+  /// East-west longitude span in degrees, wrap-aware.
+  [[nodiscard]] double lon_span_deg() const noexcept;
   /// Width (east-west, at the mid latitude) and height (north-south) in km.
+  /// Wrap-aware: an antimeridian-spanning Aleutian box reports its true
+  /// short span instead of a near-360-degree fold.
   [[nodiscard]] double width_km() const noexcept;
   [[nodiscard]] double height_km() const noexcept;
 };
+
+/// Smallest bounding box of a point set, choosing the tightest longitude
+/// interval even when it crosses the antimeridian (largest-circular-gap
+/// construction). For point sets that do not straddle +-180 this matches
+/// extend() exactly.
+[[nodiscard]] BoundingBox bounding_box(std::span<const GeoPoint> points);
 
 }  // namespace carbonedge::geo

@@ -12,9 +12,11 @@
 // 1.9-7.2 ms one-way, Central-EU pairs in 4-16 ms.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
-#include "geo/city.hpp"
+#include "geo/site.hpp"
 
 namespace carbonedge::geo {
 
@@ -46,9 +48,47 @@ class LatencyModel {
   LatencyModelParams params_;
 };
 
+/// Site-indexed latency oracle: what placement and the simulation engine
+/// consume (L_ij in Table 2). Implementations are either dense
+/// (LatencyMatrix) or banded-sparse (BandedLatencyMatrix in
+/// sparse_latency.hpp); out-of-band pairs report +infinity one-way, which
+/// the RTT feasibility filters treat as "never feasible".
+class LatencyProvider {
+ public:
+  virtual ~LatencyProvider() = default;
+
+  /// Number of sites the provider covers (indices are [0, size())).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// One-way latency in ms between site indices; +infinity when the pair is
+  /// outside the provider's band.
+  [[nodiscard]] virtual double one_way_ms(std::size_t i,
+                                          std::size_t j) const noexcept = 0;
+
+  /// Round-trip latency (2x one-way).
+  [[nodiscard]] double rtt_ms(std::size_t i, std::size_t j) const noexcept {
+    return 2.0 * one_way_ms(i, j);
+  }
+
+  /// Candidate sites with finite latency from site `i`, indices ascending.
+  /// An empty span means "unconstrained": every site may be finite (the
+  /// dense provider), and callers must fall back to scanning all sites.
+  /// This is a prefilter only — entries may still be infeasible for a given
+  /// RTT limit; it exists so feasibility loops over thousands of sites skip
+  /// the out-of-band majority.
+  [[nodiscard]] virtual std::span<const std::uint32_t> neighbors(
+      std::size_t /*i*/) const noexcept {
+    return {};
+  }
+
+ protected:
+  LatencyProvider() = default;
+  LatencyProvider(const LatencyProvider&) = default;
+  LatencyProvider& operator=(const LatencyProvider&) = default;
+};
+
 /// Dense symmetric one-way latency matrix over an ordered set of cities.
-/// This is what the placement service consumes (L_ij in Table 2).
-class LatencyMatrix {
+class LatencyMatrix final : public LatencyProvider {
  public:
   LatencyMatrix() = default;
   LatencyMatrix(const LatencyModel& model, std::span<const City> cities);
@@ -56,13 +96,11 @@ class LatencyMatrix {
   /// replay path (latency_io.hpp). Throws on size mismatch.
   LatencyMatrix(std::size_t count, std::vector<double> one_way_values);
 
-  [[nodiscard]] double one_way_ms(std::size_t i, std::size_t j) const noexcept {
+  [[nodiscard]] double one_way_ms(std::size_t i,
+                                  std::size_t j) const noexcept override {
     return values_[i * count_ + j];
   }
-  [[nodiscard]] double rtt_ms(std::size_t i, std::size_t j) const noexcept {
-    return 2.0 * one_way_ms(i, j);
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return count_; }
 
  private:
   std::size_t count_ = 0;

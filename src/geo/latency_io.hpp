@@ -11,8 +11,8 @@
 #include <iosfwd>
 #include <string>
 
-#include "geo/city.hpp"
 #include "geo/latency.hpp"
+#include "geo/site.hpp"
 
 namespace carbonedge::geo {
 

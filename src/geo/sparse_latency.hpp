@@ -1,0 +1,61 @@
+// Threshold-banded sparse latency: the O(n^2)-killer for planet-scale site
+// sets.
+//
+// Placement only ever asks "is this pair within the app's RTT budget" — for
+// a mesoscale or CDN geography almost every cross-continent pair fails that
+// test, yet the dense matrix materializes (and the feasibility loops scan)
+// all n^2 of them. BandedLatencyMatrix stores only pairs whose modeled
+// one-way latency is within `band_one_way_ms` (CSR, diagonal always
+// present) and reports +infinity for the rest, so both memory and the
+// feasible-pair enumeration scale with the neighborhood size instead of n^2.
+//
+// Candidate pairs come from a SpatialIndex radius query with the
+// conservative inversion of the latency model: one_way = base + km/fiber *
+// inflation with inflation >= inflation_min, so any pair within the band
+// satisfies km <= (band - base) * fiber / inflation_min. Every candidate is
+// then scored with the exact model, making stored values bit-identical to
+// the dense matrix on the shared support.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/latency.hpp"
+#include "geo/site.hpp"
+
+namespace carbonedge::geo {
+
+class BandedLatencyMatrix final : public LatencyProvider {
+ public:
+  BandedLatencyMatrix() = default;
+  /// Builds the band over `cities` (indices into this span). Throws
+  /// std::invalid_argument when the band cannot even hold the zero-distance
+  /// base latency.
+  BandedLatencyMatrix(const LatencyModel& model, std::span<const City> cities,
+                      double band_one_way_ms);
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return row_start_.empty() ? 0 : row_start_.size() - 1;
+  }
+  [[nodiscard]] double one_way_ms(std::size_t i,
+                                  std::size_t j) const noexcept override;
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::size_t i) const noexcept override;
+
+  [[nodiscard]] double band_one_way_ms() const noexcept { return band_ms_; }
+  /// Stored (directed) entries, diagonal included — the measure of how far
+  /// below n^2 the band stays.
+  [[nodiscard]] std::size_t stored_entries() const noexcept {
+    return cols_.size();
+  }
+
+ private:
+  double band_ms_ = 0.0;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::uint32_t> cols_;  // ascending within each row
+  std::vector<double> values_;
+};
+
+}  // namespace carbonedge::geo

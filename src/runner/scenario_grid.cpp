@@ -56,6 +56,11 @@ ScenarioGrid& ScenarioGrid::with_rtt_limits(std::vector<double> limits) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::with_latency_bands(std::vector<double> bands) {
+  latency_bands_ = std::move(bands);
+  return *this;
+}
+
 ScenarioGrid& ScenarioGrid::with_arrival_rates(std::vector<double> rates) {
   arrival_rates_ = std::move(rates);
   return *this;
@@ -89,7 +94,8 @@ ScenarioGrid& ScenarioGrid::with_workload_seeds(std::vector<std::uint64_t> seeds
 std::size_t ScenarioGrid::size() const noexcept {
   return axis_size(regions_.size()) * axis_size(mixes_.size()) * axis_size(policies_.size()) *
          axis_size(epochs_.size()) * axis_size(rtt_limits_.size()) *
-         axis_size(arrival_rates_.size()) * axis_size(defer_epochs_.size()) *
+         axis_size(latency_bands_.size()) * axis_size(arrival_rates_.size()) *
+         axis_size(defer_epochs_.size()) *
          axis_size(forecasters_.size()) * axis_size(migrations_.size()) *
          axis_size(failures_.size()) * axis_size(seeds_.size());
 }
@@ -131,6 +137,7 @@ std::vector<Scenario> ScenarioGrid::expand() const {
       for (std::size_t p = 0; p < axis_size(policies_.size()); ++p) {
         for (std::size_t e = 0; e < axis_size(epochs_.size()); ++e) {
           for (std::size_t l = 0; l < axis_size(rtt_limits_.size()); ++l) {
+            for (std::size_t b = 0; b < axis_size(latency_bands_.size()); ++b) {
             for (std::size_t a = 0; a < axis_size(arrival_rates_.size()); ++a) {
               for (std::size_t d = 0; d < axis_size(defer_epochs_.size()); ++d) {
                 for (std::size_t fc = 0; fc < axis_size(forecasters_.size()); ++fc) {
@@ -146,6 +153,9 @@ std::vector<Scenario> ScenarioGrid::expand() const {
                         if (!epochs_.empty()) scenario.config.epochs = epochs_[e];
                         if (!rtt_limits_.empty()) {
                           scenario.config.workload.latency_limit_rtt_ms = rtt_limits_[l];
+                        }
+                        if (!latency_bands_.empty()) {
+                          scenario.latency_band_ms = latency_bands_[b];
                         }
                         if (!arrival_rates_.empty()) {
                           scenario.config.workload.arrivals_per_site = arrival_rates_[a];
@@ -174,6 +184,9 @@ std::vector<Scenario> ScenarioGrid::expand() const {
                         if (!rtt_limits_.empty()) {
                           append_label(label, "rtt=" + format_axis(rtt_limits_[l]));
                         }
+                        if (!latency_bands_.empty()) {
+                          append_label(label, "band=" + format_axis(latency_bands_[b]));
+                        }
                         if (!arrival_rates_.empty()) {
                           append_label(label, "arrivals=" + format_axis(arrival_rates_[a]));
                         }
@@ -199,6 +212,7 @@ std::vector<Scenario> ScenarioGrid::expand() const {
                   }
                 }
               }
+            }
             }
           }
         }

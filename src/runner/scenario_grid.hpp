@@ -60,6 +60,10 @@ struct Scenario {
   /// Forecaster name for the cell's carbon service (carbon::make_forecaster;
   /// empty keeps the service default, the oracle).
   std::string forecaster;
+  /// One-way latency band for the cell's geography (EdgeSimulation ctor);
+  /// 0 keeps the dense LatencyMatrix, positive builds the sparse
+  /// BandedLatencyMatrix so planet-scale regions skip the n^2 pair table.
+  double latency_band_ms = 0.0;
   core::SimulationConfig config;
 };
 
@@ -67,9 +71,9 @@ struct Scenario {
 /// contribute a single cell carrying the base config's value, so a default-
 /// constructed grid expands to exactly one default scenario. Expansion is
 /// row-major in declaration order: region (outermost), device mix, policy,
-/// epochs, RTT limit, arrival rate, defer budget, forecaster, migration,
-/// failures, workload seed (innermost) — benches relying on positional
-/// indexing (e.g. pivot tables) can count on it.
+/// epochs, RTT limit, latency band, arrival rate, defer budget, forecaster,
+/// migration, failures, workload seed (innermost) — benches relying on
+/// positional indexing (e.g. pivot tables) can count on it.
 class ScenarioGrid {
  public:
   ScenarioGrid() = default;
@@ -82,6 +86,8 @@ class ScenarioGrid {
   ScenarioGrid& with_epochs(std::vector<std::uint32_t> epochs);
   /// Round-trip latency SLO sweep (workload.latency_limit_rtt_ms, Fig. 12).
   ScenarioGrid& with_rtt_limits(std::vector<double> limits);
+  /// Latency-band sweep (Scenario::latency_band_ms; 0 = dense matrix).
+  ScenarioGrid& with_latency_bands(std::vector<double> bands);
   /// Arrival-intensity sweep (workload.arrivals_per_site, Fig. 16's low vs
   /// high utilization).
   ScenarioGrid& with_arrival_rates(std::vector<double> rates);
@@ -108,6 +114,7 @@ class ScenarioGrid {
   std::vector<DeviceMix> mixes_;
   std::vector<std::uint32_t> epochs_;
   std::vector<double> rtt_limits_;
+  std::vector<double> latency_bands_;
   std::vector<double> arrival_rates_;
   std::vector<std::uint32_t> defer_epochs_;
   std::vector<std::string> forecasters_;

@@ -9,7 +9,9 @@
 #include "carbon/forecast.hpp"
 #include "carbon/service.hpp"
 #include "core/simulation.hpp"
-#include "geo/city.hpp"
+#include "geo/catalog.hpp"
+#include "geo/latency.hpp"
+#include "geo/site.hpp"
 #include "sim/datacenter.hpp"
 #include "sim/server.hpp"
 #include "util/parallelism.hpp"
@@ -43,15 +45,21 @@ sim::EdgeCluster build_cluster(const Scenario& scenario) {
 
 // Distinct Region values can share a display name (e.g. cdn_region with
 // different site counts both yield "CDN Europe"), so service dedup must key
-// on the full identity: name plus the exact city list. The forecaster is
-// part of the service state, so it joins the key too.
+// on the full identity: name plus the exact city list. SiteIds are only
+// stable within one catalog, so the key spells out each city's name — two
+// regions over different catalogs never alias even when their id lists
+// match. The forecaster is part of the service state, so it joins the key
+// too.
 std::string service_key(const Scenario& scenario) {
+  const geo::SiteCatalog& catalog = scenario.region.site_catalog();
   std::string key = scenario.forecaster;
   key += '\n';
   key += scenario.region.name;
-  for (const geo::CityId city : scenario.region.cities) {
+  for (const geo::SiteId city : scenario.region.cities) {
     key += '|';
     key += std::to_string(city);
+    key += '=';
+    key += catalog.by_id(city).name;
   }
   return key;
 }
@@ -117,7 +125,8 @@ std::vector<ScenarioOutcome> ScenarioRunner::run(std::vector<Scenario> scenarios
   std::size_t cell_lane_cap = 1;
   const auto body = [&](std::size_t p) {
     const std::size_t i = pending[p];
-    core::EdgeSimulation simulation(build_cluster(scenarios[i]), *cell_services[i]);
+    core::EdgeSimulation simulation(build_cluster(scenarios[i]), *cell_services[i],
+                                    geo::LatencyModel{}, scenarios[i].latency_band_ms);
     simulation.set_parallelism_budget(options_.budget);
     simulation.set_lane_cap(cell_lane_cap);
     slots[i] = simulation.run(scenarios[i].config);

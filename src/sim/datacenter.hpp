@@ -5,8 +5,8 @@
 #include <string>
 #include <vector>
 
-#include "geo/city.hpp"
 #include "geo/region.hpp"
+#include "geo/site.hpp"
 #include "sim/device.hpp"
 #include "sim/server.hpp"
 

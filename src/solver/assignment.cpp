@@ -114,6 +114,20 @@ bool AssignmentProblem::is_unit_slot() const noexcept {
   return true;
 }
 
+FeasiblePairs enumerate_feasible_pairs(const AssignmentProblem& problem) {
+  FeasiblePairs pairs;
+  pairs.row_start.assign(problem.num_apps() + 1, 0);
+  for (std::size_t i = 0; i < problem.num_apps(); ++i) {
+    for (std::size_t j = 0; j < problem.num_servers(); ++j) {
+      if (problem.feasible_pair(i, j)) {
+        pairs.servers.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    pairs.row_start[i + 1] = pairs.servers.size();
+  }
+  return pairs;
+}
+
 AssignmentSolution evaluate(const AssignmentProblem& problem,
                             const std::vector<std::size_t>& assignment) {
   AssignmentSolution solution;

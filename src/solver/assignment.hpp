@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "solver/lp.hpp"
@@ -87,6 +88,25 @@ class AssignmentProblem {
   std::vector<double> activation_cost_;
   std::vector<std::uint8_t> initially_on_;
 };
+
+/// Row-compressed snapshot of the feasible-pair graph: per app, the
+/// ascending list of servers with finite cost. Built in one pass over the
+/// cost matrix and shared by consumers that would otherwise re-scan all
+/// apps x servers cells per question (component decomposition, feasibility
+/// probes) — with a banded latency geography the row lists are short, so
+/// everything downstream of the build scales with the feasible support
+/// instead of n^2.
+struct FeasiblePairs {
+  std::vector<std::size_t> row_start;  // apps + 1 offsets into `servers`
+  std::vector<std::uint32_t> servers;  // concatenated per-app server lists
+
+  [[nodiscard]] std::span<const std::uint32_t> of(std::size_t app) const noexcept {
+    return std::span<const std::uint32_t>(servers).subspan(
+        row_start[app], row_start[app + 1] - row_start[app]);
+  }
+};
+
+[[nodiscard]] FeasiblePairs enumerate_feasible_pairs(const AssignmentProblem& problem);
 
 /// How a solver call answered: the decomposition shape and the path that
 /// solved each shard. Solvers fill this in on the solutions they return;

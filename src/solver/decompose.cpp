@@ -41,11 +41,14 @@ class UnionFind {
 std::vector<Component> connected_components(const AssignmentProblem& problem) {
   const std::size_t apps = problem.num_apps();
   const std::size_t servers = problem.num_servers();
+  // One pass over the cost matrix up front; the union-find then walks only
+  // the feasible support (short rows under banded geographies) in the same
+  // ascending order as the old dense double scan — identical components.
+  const FeasiblePairs pairs = enumerate_feasible_pairs(problem);
   UnionFind uf(apps + servers);
   std::vector<std::uint8_t> server_used(servers, 0);
   for (std::size_t i = 0; i < apps; ++i) {
-    for (std::size_t j = 0; j < servers; ++j) {
-      if (!problem.feasible_pair(i, j)) continue;
+    for (const std::uint32_t j : pairs.of(i)) {
       uf.unite(i, apps + j);
       server_used[j] = 1;
     }

@@ -43,6 +43,7 @@ const char* to_string(ArtifactKind kind) noexcept {
     case ArtifactKind::kCarbonTrace: return "trace";
     case ArtifactKind::kLatencyMatrix: return "latency";
     case ArtifactKind::kSweepOutcome: return "sweep";
+    case ArtifactKind::kSiteCatalog: return "catalog";
   }
   return "unknown";
 }

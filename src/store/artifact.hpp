@@ -33,6 +33,7 @@ enum class ArtifactKind : std::uint32_t {
   kCarbonTrace = 1,    // hourly intensity series + optional generation mixes
   kLatencyMatrix = 2,  // dense one-way latency matrix
   kSweepOutcome = 3,   // one scenario cell's SimulationResult
+  kSiteCatalog = 4,    // compiled site catalog (columnar city table)
 };
 
 [[nodiscard]] const char* to_string(ArtifactKind kind) noexcept;

@@ -59,13 +59,14 @@ obs::Phase& gc_phase() {
 }
 
 constexpr ArtifactKind kAllKinds[] = {ArtifactKind::kCarbonTrace, ArtifactKind::kLatencyMatrix,
-                                      ArtifactKind::kSweepOutcome};
+                                      ArtifactKind::kSweepOutcome, ArtifactKind::kSiteCatalog};
 
 const char* dir_name(ArtifactKind kind) {
   switch (kind) {
     case ArtifactKind::kCarbonTrace: return "traces";
     case ArtifactKind::kLatencyMatrix: return "latency";
     case ArtifactKind::kSweepOutcome: return "sweeps";
+    case ArtifactKind::kSiteCatalog: return "catalogs";
   }
   throw std::invalid_argument("artifact store: unknown kind");
 }

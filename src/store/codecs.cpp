@@ -1,7 +1,10 @@
 #include "store/codecs.hpp"
 
+#include <span>
 #include <stdexcept>
 
+#include "geo/coord.hpp"
+#include "geo/site.hpp"
 #include "store/artifact.hpp"
 
 namespace carbonedge::store {
@@ -12,6 +15,7 @@ namespace {
 constexpr std::uint32_t kTraceSchema = 1;
 constexpr std::uint32_t kLatencySchema = 1;
 constexpr std::uint32_t kOutcomeSchema = 1;
+constexpr std::uint32_t kSiteCatalogSchema = 1;
 
 void require_schema(std::uint32_t got, std::uint32_t want, const char* what) {
   if (got != want) {
@@ -58,6 +62,53 @@ carbon::CarbonTrace decode_trace(std::string_view payload) {
   }
   r.expect_exhausted();
   return trace;
+}
+
+std::string encode_site_catalog(const geo::SiteCatalog& catalog) {
+  const std::span<const geo::City> sites = catalog.all();
+  ByteWriter w;
+  w.u32(kSiteCatalogSchema);
+  w.u64(sites.size());
+  // Variable-width string rows first, then the fixed-width numeric columns
+  // (friendlier to whole-column scans than interleaving).
+  for (const geo::City& city : sites) w.str(city.name);
+  for (const geo::City& city : sites) w.str(city.country);
+  for (const geo::City& city : sites) w.u8(static_cast<std::uint8_t>(city.continent));
+  for (const geo::City& city : sites) w.f64(city.location.lat_deg);
+  for (const geo::City& city : sites) w.f64(city.location.lon_deg);
+  for (const geo::City& city : sites) w.f64(city.population_k);
+  return w.take();
+}
+
+geo::CompiledSiteCatalog decode_site_catalog(std::string_view payload) {
+  ByteReader r(payload);
+  require_schema(r.u32(), kSiteCatalogSchema, "site catalog");
+  const std::uint64_t count = r.u64();
+  // Same wrap guard as the latency codec: a checksum-valid but hostile count
+  // must not drive the reserve/loop arithmetic below.
+  if (count > (std::uint64_t{1} << 24)) {
+    throw std::runtime_error("artifact: implausible site catalog size");
+  }
+  std::vector<geo::City> sites(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sites[i].id = static_cast<geo::SiteId>(i);
+    sites[i].name = r.str();
+  }
+  for (std::uint64_t i = 0; i < count; ++i) sites[i].country = r.str();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(geo::Continent::kEurope)) {
+      throw std::runtime_error("artifact: unknown continent in site catalog");
+    }
+    sites[i].continent = static_cast<geo::Continent>(raw);
+  }
+  for (std::uint64_t i = 0; i < count; ++i) sites[i].location.lat_deg = r.f64();
+  for (std::uint64_t i = 0; i < count; ++i) sites[i].location.lon_deg = r.f64();
+  for (std::uint64_t i = 0; i < count; ++i) sites[i].population_k = r.f64();
+  r.expect_exhausted();
+  // CompiledSiteCatalog's constructor re-validates (dense ids, unique
+  // names, coordinate ranges) — decode shares the ingest-time invariants.
+  return geo::CompiledSiteCatalog(std::move(sites));
 }
 
 std::string encode_latency_matrix(const geo::LatencyMatrix& matrix) {

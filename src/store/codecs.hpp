@@ -1,5 +1,5 @@
 // Payload codecs for the artifact container (store/artifact.hpp): columnar
-// binary serializations of the three artifact kinds.
+// binary serializations of the artifact kinds.
 //
 // Doubles are stored as raw IEEE-754 bits, so every codec round-trips
 // bit-exactly — a value decoded from the store is indistinguishable from
@@ -14,6 +14,7 @@
 
 #include "carbon/trace.hpp"
 #include "core/simulation.hpp"
+#include "geo/catalog.hpp"
 #include "geo/latency.hpp"
 
 namespace carbonedge::store {
@@ -22,6 +23,13 @@ namespace carbonedge::store {
 /// one column per energy source of the realized generation mix.
 [[nodiscard]] std::string encode_trace(const carbon::CarbonTrace& trace);
 [[nodiscard]] carbon::CarbonTrace decode_trace(std::string_view payload);
+
+/// Compiled site catalog: name/country/continent rows, then columnar
+/// lat/lon/population doubles. The decoder re-runs CompiledSiteCatalog's
+/// constructor validation, so a checksum-valid but semantically broken
+/// payload (duplicate names, out-of-range coordinates) still throws.
+[[nodiscard]] std::string encode_site_catalog(const geo::SiteCatalog& catalog);
+[[nodiscard]] geo::CompiledSiteCatalog decode_site_catalog(std::string_view payload);
 
 /// Dense one-way latency matrix (row-major column of doubles).
 [[nodiscard]] std::string encode_latency_matrix(const geo::LatencyMatrix& matrix);

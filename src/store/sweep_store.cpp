@@ -6,7 +6,7 @@
 #include "carbon/trace_cache.hpp"
 #include "carbon/zone.hpp"
 #include "core/simulation.hpp"
-#include "geo/city.hpp"
+#include "geo/site.hpp"
 #include "sim/device.hpp"
 #include "sim/workload.hpp"
 #include "obs/metrics.hpp"
@@ -112,19 +112,31 @@ SweepStore::SweepStore(std::shared_ptr<ArtifactStore> artifacts)
 
 std::string SweepStore::fingerprint(const runner::Scenario& scenario) {
   util::Fingerprint fp;
-  fp.mix("carbonedge/sweep/v1");  // schema salt: bump when the field list changes
-  // Region identity is its city list (display names are cosmetic) — plus
-  // each city's zone-spec content, exactly as the runner's service will
-  // resolve it (catalog spec, default synthesizer params). Without this, a
-  // recalibration of the built-in carbon dataset or the synthesizer would
-  // silently resume stale cells from the store.
+  fp.mix("carbonedge/sweep/v2");  // schema salt: bump when the field list changes
+  // Region identity is its resolved site list. SiteIds are only stable
+  // within one catalog, so the fingerprint mixes each site's full physical
+  // identity (name, country, location, population) rather than trusting the
+  // id — two regions over different compiled catalogs never collide even
+  // when their id lists match. Each city's zone-spec content joins too,
+  // exactly as the runner's service will resolve it (catalog spec, default
+  // synthesizer params): without this, a recalibration of the built-in
+  // carbon dataset or the synthesizer would silently resume stale cells.
   const auto& catalog = carbon::ZoneCatalog::builtin();
   const std::vector<geo::City> cities = scenario.region.resolve();
   fp.mix(static_cast<std::uint64_t>(cities.size()));
   for (const geo::City& city : cities) {
     fp.mix(static_cast<std::uint64_t>(city.id));
+    fp.mix(city.name);
+    fp.mix(city.country);
+    fp.mix(static_cast<std::uint64_t>(city.continent));
+    fp.mix(city.location.lat_deg);
+    fp.mix(city.location.lon_deg);
+    fp.mix(city.population_k);
     fp.mix(carbon::TraceCache::key_of(catalog.spec_for(city), carbon::SynthesizerParams{}));
   }
+  // The latency band changes the feasible-pair geography, so banded and
+  // dense runs of the same cell are distinct outcomes.
+  fp.mix(scenario.latency_band_ms);
   const runner::DeviceMix& mix = scenario.mix;
   fp.mix(static_cast<std::uint64_t>(mix.devices.size()));
   for (const sim::DeviceType device : mix.devices) {

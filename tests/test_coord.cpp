@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace carbonedge::geo {
 namespace {
 
@@ -59,6 +61,51 @@ TEST(BoundingBox, SinglePointHasZeroExtent) {
   box.extend({10.0, 20.0});
   EXPECT_DOUBLE_EQ(box.width_km(), 0.0);
   EXPECT_DOUBLE_EQ(box.height_km(), 0.0);
+}
+
+TEST(BoundingBox, AntimeridianSpanningWidthIsTheShortSpan) {
+  // Regression: an Aleutian box (Attu at 173E, Adak at 176.7W) spans the
+  // antimeridian. The old width_km folded it into a ~350-degree interval
+  // and reported a near-circumference width; the wrap-aware box must report
+  // the true ~10-degree span (~700 km at 52N).
+  const GeoPoint attu{52.8467, 173.1886};
+  const GeoPoint adak{51.8800, -176.6581};
+  const BoundingBox box = bounding_box(std::vector<GeoPoint>{attu, adak});
+  EXPECT_GT(box.min.lon_deg, box.max.lon_deg);  // wrapped interval
+  EXPECT_NEAR(box.lon_span_deg(), 10.15, 0.01);
+  EXPECT_GT(box.width_km(), 500.0);
+  EXPECT_LT(box.width_km(), 800.0);
+  EXPECT_NEAR(box.height_km(), haversine_km({51.88, 0.0}, {52.8467, 0.0}), 1e-9);
+}
+
+TEST(BoundingBox, NonStraddlingMatchesExtendBitForBit) {
+  // For point sets away from +-180 the largest-gap construction must give
+  // exactly the per-axis min/max box extend() builds.
+  const std::vector<GeoPoint> points = {
+      {30.33, -81.66}, {25.76, -80.19}, {27.95, -82.46}, {48.14, 11.58}, {59.33, 18.07}};
+  BoundingBox reference;
+  for (const GeoPoint& p : points) reference.extend(p);
+  const BoundingBox box = bounding_box(points);
+  EXPECT_EQ(box.min.lat_deg, reference.min.lat_deg);
+  EXPECT_EQ(box.min.lon_deg, reference.min.lon_deg);
+  EXPECT_EQ(box.max.lat_deg, reference.max.lat_deg);
+  EXPECT_EQ(box.max.lon_deg, reference.max.lon_deg);
+  EXPECT_EQ(box.width_km(), reference.width_km());
+}
+
+TEST(BoundingBox, WrappedSpanBeyond180UsesSmallCircleArc) {
+  // A wrapped interval wider than 180 degrees cannot be measured with one
+  // haversine hop (it would report the complementary short way around);
+  // width must still be monotone in the span.
+  BoundingBox wide;
+  wide.min = {10.0, 100.0};
+  wide.max = {20.0, -80.0};  // wrapped: spans 180 degrees eastward
+  BoundingBox wider;
+  wider.min = {10.0, 90.0};
+  wider.max = {20.0, -80.0};  // wrapped: spans 190 degrees eastward
+  EXPECT_NEAR(wide.lon_span_deg(), 180.0, 1e-12);
+  EXPECT_NEAR(wider.lon_span_deg(), 190.0, 1e-12);
+  EXPECT_GT(wider.width_km(), wide.width_km());
 }
 
 TEST(Continent, Names) {
